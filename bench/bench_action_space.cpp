@@ -1,0 +1,102 @@
+// Ablation: action-space reductions (paper §V-C).
+//
+// The paper reduces the action space from per-flow splitting ratios
+// (|V|^2 |E| values) through destination-based routing (|V||E|) down to
+// one weight per edge (|E|), accepting approximation error in exchange
+// for a space PPO can explore.  This bench reports the sizes for the
+// catalogue topologies and measures the cost of the final reduction: the
+// gap between the LP optimum (what the full space can express), the best
+// edge-weight softmin routing found by random search, and shortest-path
+// routing.
+#include <cstdio>
+
+#include "core/evaluate.hpp"
+#include "core/experiment.hpp"
+#include "mcf/cache.hpp"
+#include "routing/baselines.hpp"
+#include "routing/softmin.hpp"
+#include "topo/zoo.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gddr;
+  using namespace gddr::core;
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  std::printf("=== Ablation: action-space reductions (paper §V-C) ===\n\n");
+
+  {
+    util::Table sizes({"topology", "per-flow |V|^2|E|", "per-dest |V||E|",
+                       "edge weights |E|"});
+    for (const auto& name : topo::catalogue_names()) {
+      const auto g = topo::by_name(name);
+      const long v = g.num_nodes();
+      const long e = g.num_edges();
+      sizes.add_row({name, std::to_string(v * v * e), std::to_string(v * e),
+                     std::to_string(e)});
+    }
+    sizes.print();
+  }
+
+  std::printf("\ncost of the |E| reduction (mean U_max ratio; 1.0 = what "
+              "the unreduced space could express):\n");
+  ScenarioParams params = experiment_scenario_params();
+  params.train_sequences = 1;
+  params.test_sequences = 1;
+
+  util::Table table({"topology", "best-of-200 edge weights",
+                     "softmin(neutral)", "shortest-path"});
+  util::Rng rng(5);
+  for (const auto& name : {"Abilene", "SmallRing", "MetroLike"}) {
+    const Scenario scenario = make_scenario(topo::by_name(name), params, rng);
+    const auto& g = scenario.graph;
+    mcf::OptimalCache cache;
+    const int memory = 5;
+
+    // Random search over static edge-weight vectors: selected on the
+    // train sequence, scored on the test sequence.
+    util::Rng wrng(13);
+    double best_train = 1e18;
+    std::vector<double> best_weights(static_cast<size_t>(g.num_edges()),
+                                     1.0);
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<double> actions(static_cast<size_t>(g.num_edges()));
+      for (auto& a : actions) a = wrng.uniform(-1.0, 1.0);
+      const auto weights = routing::weights_from_actions(actions, 0.5, 3.0);
+      const auto routing = routing::softmin_routing(g, weights);
+      double sum = 0.0;
+      int count = 0;
+      const auto& seq = scenario.train_sequences[0];
+      for (std::size_t t = static_cast<size_t>(memory); t < 25; ++t) {
+        sum += routing::simulate(g, routing, seq[t]).u_max /
+               cache.u_max(g, seq[t]);
+        ++count;
+      }
+      if (sum / count < best_train) {
+        best_train = sum / count;
+        best_weights = weights;
+      }
+    }
+    const auto best = evaluate_fixed(
+        {scenario}, memory, cache, [&](const graph::DiGraph& gr) {
+          return routing::softmin_routing(gr, best_weights);
+        });
+    const auto neutral = evaluate_fixed(
+        {scenario}, memory, cache, [](const graph::DiGraph& gr) {
+          const std::vector<double> w(
+              static_cast<size_t>(gr.num_edges()), 1.0);
+          return routing::softmin_routing(gr, w);
+        });
+    const auto sp = evaluate_shortest_path({scenario}, memory, cache);
+    table.add_row({name, util::fmt(best.mean_ratio),
+                   util::fmt(neutral.mean_ratio), util::fmt(sp.mean_ratio)});
+  }
+  table.print();
+  std::printf("\nreading: the |E|-sized space cannot reach 1.0 (the "
+              "approximation the paper accepts).  Static random search "
+              "over it sometimes beats shortest-path and sometimes "
+              "overfits the training sequence — which is precisely why "
+              "the paper conditions the weights on observed demand with a "
+              "learned policy instead of fixing them; unlike the per-flow "
+              "space, |E| values are few enough for RL exploration.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Figure 6 reproduction: learning to route on a fixed graph.
+//
+// Paper setup (§VIII-D): the Abilene topology; cyclical bimodal demand
+// sequences of 60 DMs with cycle length 10 and memory length 5; 7 training
+// sequences and 3 test sequences.  Bars are the mean ratio between the
+// achieved max-link-utilisation and the optimal for each test DM (lower is
+// better); the dotted line is shortest-path routing.
+//
+// Paper's qualitative result: all learned policies beat shortest-path
+// routing, and the GNN policies perform at least as well as the MLP.
+//
+// Training defaults to a reduced step budget so the bench suite completes
+// in minutes; set GDDR_TRAIN_STEPS=<n> (or GDDR_BENCH_SCALE=paper for the
+// paper's 500k) to train longer.
+#include <cstdio>
+
+#include "core/evaluate.hpp"
+#include "core/experiment.hpp"
+#include "core/iterative_env.hpp"
+#include "core/policies.hpp"
+#include "core/routing_env.hpp"
+#include "rl/ppo.hpp"
+#include "routing/baselines.hpp"
+#include "topo/zoo.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gddr;
+using namespace gddr::core;
+
+struct Row {
+  std::string policy;
+  EvalResult eval;
+  long steps;
+};
+
+}  // namespace
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  std::printf("=== Figure 6: learning to route on a fixed graph ===\n");
+
+  util::Rng rng(20210101);
+  const ScenarioParams params = experiment_scenario_params();
+  // AbileneHet = the paper's Abilene topology with heterogeneous link
+  // capacities (OC-192 core / OC-48 edge).  See DESIGN.md §1: at bench
+  // training budgets the uniform-capacity network offers too little
+  // signal; heterogeneous capacities make the qualitative claims testable
+  // in minutes.  GDDR_BENCH_SCALE=paper restores paper-scale training.
+  const Scenario scenario =
+      make_scenario(topo::abilene_heterogeneous(), params, rng);
+  const int memory = 5;
+  std::printf(
+      "graph AbileneHet (|V|=%d, |E|=%d); %d-DM sequences, cycle %d, memory "
+      "%d; %d train / %d test sequences\n",
+      scenario.graph.num_nodes(), scenario.graph.num_edges(),
+      params.sequence_length, params.cycle_length, memory,
+      params.train_sequences, params.test_sequences);
+
+  mcf::OptimalCache baseline_cache;
+  const EvalResult sp =
+      evaluate_shortest_path({scenario}, memory, baseline_cache);
+  // Static data-driven baseline (not in the paper's figure, included for
+  // context): the LP-optimal routing for the mean training demand, fixed.
+  const EvalResult mean_dm = evaluate_fixed(
+      {scenario}, memory, baseline_cache, [&](const graph::DiGraph& g) {
+        return routing::mean_demand_optimal_routing(
+            g, scenario.train_sequences[0]);
+      });
+
+  std::vector<Row> rows;
+
+  // --- MLP baseline (Valadarsky et al.) ---
+  {
+    const long steps = bench_train_steps(8000);
+    EnvConfig env_cfg;
+    env_cfg.memory = memory;
+    RoutingEnv env({scenario}, env_cfg, 1);
+    util::Rng prng(2);
+    const int obs_dim =
+        memory * scenario.graph.num_nodes() * scenario.graph.num_nodes();
+    MlpPolicy policy(obs_dim, scenario.graph.num_edges(),
+                     experiment_mlp_config(), prng);
+    rl::PpoTrainer trainer(policy, env, routing_ppo_config(), 3);
+    std::printf("training MLP for %ld steps...\n", steps);
+    trainer.train(steps);
+    rows.push_back({policy.name(), evaluate_policy(trainer, env), steps});
+  }
+
+  // --- GNN policy (GDDR) ---
+  {
+    const long steps = bench_train_steps(8000);
+    EnvConfig env_cfg;
+    env_cfg.memory = memory;
+    RoutingEnv env({scenario}, env_cfg, 4);
+    util::Rng prng(5);
+    GnnPolicy policy(experiment_gnn_config(memory), prng);
+    rl::PpoTrainer trainer(policy, env, routing_ppo_config(), 6);
+    std::printf("training GNN for %ld steps...\n", steps);
+    trainer.train(steps);
+    rows.push_back({policy.name(), evaluate_policy(trainer, env), steps});
+  }
+
+  // --- Iterative GNN policy (GDDR) ---
+  {
+    const long steps = bench_train_steps(8000) * 2;  // micro-steps
+    IterativeEnvConfig env_cfg;
+    env_cfg.memory = memory;
+    IterativeRoutingEnv env({scenario}, env_cfg, 7);
+    util::Rng prng(8);
+    IterativeGnnPolicy policy(experiment_iterative_gnn_config(memory), prng);
+    rl::PpoTrainer trainer(policy, env,
+                           iterative_ppo_config(env.edges_per_step()), 9);
+    std::printf("training GNN-Iterative for %ld micro-steps...\n", steps);
+    trainer.train(steps);
+    rows.push_back({policy.name(), evaluate_policy(trainer, env), steps});
+  }
+
+  std::printf("\nBar heights (mean U_max_agent / U_max_optimal on test "
+              "DMs; lower is better):\n");
+  util::Table table({"policy", "mean ratio", "stddev", "min", "max",
+                     "train steps"});
+  for (const auto& row : rows) {
+    table.add_row({row.policy, util::fmt(row.eval.mean_ratio),
+                   util::fmt(row.eval.stddev), util::fmt(row.eval.min_ratio),
+                   util::fmt(row.eval.max_ratio), std::to_string(row.steps)});
+  }
+  table.add_row({"shortest-path (dotted line)", util::fmt(sp.mean_ratio),
+                 util::fmt(sp.stddev), util::fmt(sp.min_ratio),
+                 util::fmt(sp.max_ratio), "-"});
+  table.add_row({"mean-DM optimal (static)", util::fmt(mean_dm.mean_ratio),
+                 util::fmt(mean_dm.stddev), util::fmt(mean_dm.min_ratio),
+                 util::fmt(mean_dm.max_ratio), "-"});
+  table.print();
+
+  std::printf("\npaper expectation: every learned policy below the "
+              "shortest-path line; GNN policies at or below the MLP.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation: the softmin spread parameter gamma (paper Eq. 3).
+//
+// Gamma controls how concentrated the softmin splitting ratios are: small
+// gamma spreads traffic across the per-flow DAG (ECMP-like), large gamma
+// approaches weighted shortest-path routing.  The iterative GDDR policy
+// learns gamma (paper Eq. 7); this bench maps the landscape it learns
+// over, for neutral and for randomly perturbed weight vectors.
+#include <cstdio>
+
+#include "core/evaluate.hpp"
+#include "core/experiment.hpp"
+#include "routing/softmin.hpp"
+#include "topo/zoo.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gddr;
+  using namespace gddr::core;
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  std::printf("=== Ablation: softmin gamma (paper Eq. 3) ===\n");
+
+  ScenarioParams params = experiment_scenario_params();
+  params.train_sequences = 1;
+  util::Rng rng(11);
+  const Scenario scenario = make_abilene_scenario(rng, params);
+  mcf::OptimalCache cache;
+  const int memory = 5;
+
+  util::Table table({"gamma", "neutral weights", "random weights (mean of 5)"});
+  for (const double gamma : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    routing::SoftminOptions options;
+    options.gamma = gamma;
+
+    const auto neutral = evaluate_fixed(
+        {scenario}, memory, cache, [&](const graph::DiGraph& g) {
+          const std::vector<double> w(
+              static_cast<size_t>(g.num_edges()), 1.0);
+          return routing::softmin_routing(g, w, options);
+        });
+
+    util::Rng wrng(13);
+    double random_sum = 0.0;
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto random = evaluate_fixed(
+          {scenario}, memory, cache, [&](const graph::DiGraph& g) {
+            std::vector<double> w(static_cast<size_t>(g.num_edges()));
+            for (auto& x : w) x = wrng.uniform(0.5, 3.0);
+            return routing::softmin_routing(g, w, options);
+          });
+      random_sum += random.mean_ratio;
+    }
+    table.add_row({util::fmt(gamma, 2), util::fmt(neutral.mean_ratio),
+                   util::fmt(random_sum / 5.0)});
+  }
+  table.print();
+  std::printf("\nreading: with neutral (all-equal) weights gamma is inert "
+              "— every retained out-edge has the same softmin cost — while "
+              "with non-uniform weights small gamma hedges across paths "
+              "and large gamma hard-commits to the weighted shortest "
+              "path.  This is why the iterative policy benefits from "
+              "learning gamma jointly with the weights.\n");
+  return 0;
+}

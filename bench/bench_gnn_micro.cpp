@@ -1,0 +1,91 @@
+// Microbenchmark: policy forward/backward cost, GNN vs MLP.
+//
+// Supports the paper's "no learning-time overhead" claim (§VIII, Figure 7
+// discussion) with direct per-inference measurements, and quantifies the
+// parameter-count scaling argument of §IX: the GNN's parameter count is
+// topology-independent while the MLP's grows with |V|^2 and |E|.
+#include <benchmark/benchmark.h>
+
+#include "core/policies.hpp"
+#include "core/routing_env.hpp"
+#include "core/scenario.hpp"
+#include "nn/optimizer.hpp"
+#include "topo/zoo.hpp"
+
+namespace {
+
+using namespace gddr;
+using namespace gddr::core;
+
+Scenario tiny_scenario(const std::string& topology) {
+  util::Rng rng(1);
+  ScenarioParams p;
+  p.sequence_length = 12;
+  p.cycle_length = 4;
+  p.train_sequences = 1;
+  p.test_sequences = 1;
+  return make_scenario(topo::by_name(topology), p, rng);
+}
+
+void BM_GnnForward(benchmark::State& state, const std::string& topology) {
+  const Scenario scenario = tiny_scenario(topology);
+  util::Rng prng(2);
+  GnnPolicyConfig cfg;
+  cfg.memory = 5;
+  GnnPolicy policy(cfg, prng);
+  const auto obs = RoutingEnv::build_observation(
+      scenario, scenario.train_sequences[0], 5, 5);
+  for (auto _ : state) {
+    nn::Tape tape;
+    benchmark::DoNotOptimize(policy.action_mean(tape, obs));
+  }
+  state.SetLabel(topology + " params=" +
+                 std::to_string(policy.num_parameters()));
+}
+
+void BM_GnnForwardBackward(benchmark::State& state,
+                           const std::string& topology) {
+  const Scenario scenario = tiny_scenario(topology);
+  util::Rng prng(2);
+  GnnPolicyConfig cfg;
+  cfg.memory = 5;
+  GnnPolicy policy(cfg, prng);
+  const auto params = policy.parameters();
+  const auto obs = RoutingEnv::build_observation(
+      scenario, scenario.train_sequences[0], 5, 5);
+  for (auto _ : state) {
+    nn::Tape tape;
+    const auto mean = policy.action_mean(tape, obs);
+    const auto loss = tape.mean_all(tape.square(mean));
+    nn::zero_grads(params);
+    tape.backward(loss);
+  }
+  state.SetLabel(topology);
+}
+
+void BM_MlpForward(benchmark::State& state, const std::string& topology) {
+  const Scenario scenario = tiny_scenario(topology);
+  util::Rng prng(2);
+  const int n = scenario.graph.num_nodes();
+  MlpPolicy policy(5 * n * n, scenario.graph.num_edges(), MlpPolicyConfig{},
+                   prng);
+  const auto obs = RoutingEnv::build_observation(
+      scenario, scenario.train_sequences[0], 5, 5);
+  for (auto _ : state) {
+    nn::Tape tape;
+    benchmark::DoNotOptimize(policy.action_mean(tape, obs));
+  }
+  state.SetLabel(topology + " params=" +
+                 std::to_string(policy.num_parameters()));
+}
+
+BENCHMARK_CAPTURE(BM_GnnForward, small, std::string("SmallRing"));
+BENCHMARK_CAPTURE(BM_GnnForward, abilene, std::string("Abilene"));
+BENCHMARK_CAPTURE(BM_GnnForward, geant, std::string("GeantLike"));
+BENCHMARK_CAPTURE(BM_GnnForwardBackward, abilene, std::string("Abilene"));
+BENCHMARK_CAPTURE(BM_GnnForwardBackward, geant, std::string("GeantLike"));
+BENCHMARK_CAPTURE(BM_MlpForward, small, std::string("SmallRing"));
+BENCHMARK_CAPTURE(BM_MlpForward, abilene, std::string("Abilene"));
+BENCHMARK_CAPTURE(BM_MlpForward, geant, std::string("GeantLike"));
+
+}  // namespace

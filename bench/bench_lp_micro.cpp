@@ -1,0 +1,68 @@
+// Microbenchmark: the optimal-congestion solvers.
+//
+// The paper notes training is CPU-bound on the LP step (§VIII-C); this
+// bench quantifies the from-scratch simplex on Topology-Zoo-scale
+// problems, the FPTAS alternative, and the effect of the reward cache.
+#include <benchmark/benchmark.h>
+
+#include "mcf/cache.hpp"
+#include "mcf/fptas.hpp"
+#include "mcf/optimal.hpp"
+#include "topo/zoo.hpp"
+#include "traffic/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gddr;
+
+traffic::DemandMatrix make_demand(const graph::DiGraph& g,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  traffic::BimodalParams params;
+  params.pair_density = 0.2;
+  return traffic::bimodal_matrix(g.num_nodes(), params, rng);
+}
+
+void BM_SolveOptimalLp(benchmark::State& state,
+                       const std::string& topology) {
+  const auto g = topo::by_name(topology);
+  const auto dm = make_demand(g, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcf::solve_optimal(g, dm));
+  }
+  state.SetLabel(topology + " |V|=" + std::to_string(g.num_nodes()) +
+                 " |E|=" + std::to_string(g.num_edges()));
+}
+
+void BM_FptasApprox(benchmark::State& state, const std::string& topology) {
+  const auto g = topo::by_name(topology);
+  const auto dm = make_demand(g, 1);
+  mcf::FptasOptions options;
+  options.epsilon = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcf::approx_optimal_u_max(g, dm, options));
+  }
+  state.SetLabel(topology);
+}
+
+void BM_CachedOptimal(benchmark::State& state) {
+  const auto g = topo::abilene();
+  const auto dm = make_demand(g, 1);
+  mcf::OptimalCache cache;
+  cache.u_max(g, dm);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.u_max(g, dm));
+  }
+  state.SetLabel("Abilene (cache hit)");
+}
+
+BENCHMARK_CAPTURE(BM_SolveOptimalLp, abilene, std::string("Abilene"));
+BENCHMARK_CAPTURE(BM_SolveOptimalLp, nsfnet, std::string("Nsfnet"));
+BENCHMARK_CAPTURE(BM_SolveOptimalLp, garr, std::string("GarrLike"));
+BENCHMARK_CAPTURE(BM_SolveOptimalLp, geant, std::string("GeantLike"));
+BENCHMARK_CAPTURE(BM_FptasApprox, abilene, std::string("Abilene"));
+BENCHMARK_CAPTURE(BM_FptasApprox, geant, std::string("GeantLike"));
+BENCHMARK(BM_CachedOptimal);
+
+}  // namespace

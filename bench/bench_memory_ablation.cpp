@@ -1,0 +1,82 @@
+// Ablation: demand-history (memory) length.
+//
+// The paper fixes memory = 5 (following Valadarsky et al.).  This bench
+// trains a small GNN agent on the fast-learning asymmetric-diamond
+// scenario for each memory length and reports the final test ratio plus
+// the observation sizes, showing the cost/benefit of longer histories.
+#include <cstdio>
+
+#include "core/evaluate.hpp"
+#include "core/experiment.hpp"
+#include "core/policies.hpp"
+#include "core/routing_env.hpp"
+#include "rl/ppo.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gddr;
+using namespace gddr::core;
+
+graph::DiGraph asym_diamond() {
+  graph::DiGraph g(4, "asym-diamond");
+  g.add_bidirectional(0, 1, 1000.0);
+  g.add_bidirectional(1, 3, 1000.0);
+  g.add_bidirectional(0, 2, 4000.0);
+  g.add_bidirectional(2, 3, 4000.0);
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  std::printf("=== Ablation: demand-history memory length ===\n");
+  std::printf("small GNN agent, asymmetric-diamond scenario, %ld training "
+              "steps per memory setting\n\n",
+              bench_train_steps(4000));
+
+  util::Table table({"memory", "node obs width", "MLP obs size",
+                     "untrained ratio", "trained ratio"});
+  for (const int memory : {1, 3, 5, 8}) {
+    util::Rng rng(11);
+    ScenarioParams params;
+    params.sequence_length = 20;
+    params.cycle_length = 5;
+    params.train_sequences = 2;
+    params.test_sequences = 1;
+    params.demand.mouse_mean = 300.0;
+    params.demand.elephant_mean = 900.0;
+    const Scenario scenario = make_scenario(asym_diamond(), params, rng);
+
+    EnvConfig env_cfg;
+    env_cfg.memory = memory;
+    RoutingEnv env({scenario}, env_cfg, 29);
+    util::Rng prng(12);
+    GnnPolicyConfig pcfg;
+    pcfg.memory = memory;
+    pcfg.latent = 8;
+    pcfg.steps = 2;
+    pcfg.mlp_hidden = {16};
+    pcfg.init_log_std = -1.2;
+    GnnPolicy policy(pcfg, prng);
+    rl::PpoConfig ppo = routing_ppo_config();
+    ppo.rollout_steps = 128;
+    ppo.minibatch_size = 32;
+    rl::PpoTrainer trainer(policy, env, ppo, 31);
+    const EvalResult before = evaluate_policy(trainer, env);
+    trainer.train(bench_train_steps(4000));
+    const EvalResult after = evaluate_policy(trainer, env);
+    const int n = scenario.graph.num_nodes();
+    table.add_row({std::to_string(memory), std::to_string(2 * memory),
+                   std::to_string(memory * n * n),
+                   util::fmt(before.mean_ratio),
+                   util::fmt(after.mean_ratio)});
+  }
+  table.print();
+  std::printf("\nreading: trained < untrained at every memory length; "
+              "GNN observation width grows as 2*memory per node while the "
+              "MLP's grows as memory*|V|^2 — the compression that makes "
+              "the GNN topology-independent (paper §V-B).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table: quality of classical routing schemes relative to the
+// multicommodity-flow optimum (the paper's §II/§VI framing: LP optimal <=
+// learned softmin <= oblivious/multipath <= shortest path, with exact
+// ordering depending on the topology).
+//
+// For each catalogue topology we generate the experiment traffic model and
+// report the mean U_max ratio of each non-learned scheme, plus the
+// FPTAS's estimate of the optimum as a solver cross-check (its ratio
+// column should sit within its 1/(1-3eps) guarantee of 1.0).
+#include <cstdio>
+
+#include "core/evaluate.hpp"
+#include "core/experiment.hpp"
+#include "graph/algorithms.hpp"
+#include "mcf/fptas.hpp"
+#include "routing/baselines.hpp"
+#include "routing/softmin.hpp"
+#include "topo/zoo.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gddr;
+  using namespace gddr::core;
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  std::printf("=== Routing-scheme quality vs the MCF optimum ===\n");
+  std::printf("mean U_max ratio over test DMs (1.0 = LP optimum; lower "
+              "is better)\n\n");
+
+  ScenarioParams params = experiment_scenario_params();
+  params.test_sequences = 1;  // one test sequence per topology is plenty
+  params.train_sequences = 1;
+
+  util::Table table({"topology", "|V|", "|E|", "shortest-path", "ECMP",
+                     "softmin(neutral)", "k=3 multipath", "mean-DM optimal",
+                     "FPTAS/LP"});
+
+  util::Rng rng(7);
+  for (const auto& name :
+       {"Abilene", "Nsfnet", "SmallRing", "JanetLike", "RenaterLike",
+        "MetroLike"}) {
+    const Scenario scenario = make_scenario(topo::by_name(name), params, rng);
+    const auto& g = scenario.graph;
+    mcf::OptimalCache cache;
+    const int memory = 5;
+
+    const auto sp = evaluate_shortest_path({scenario}, memory, cache);
+    const auto ecmp = evaluate_fixed(
+        {scenario}, memory, cache, [](const graph::DiGraph& gr) {
+          return routing::ecmp_routing(gr, graph::unit_weights(gr));
+        });
+    const auto neutral = evaluate_fixed(
+        {scenario}, memory, cache, [](const graph::DiGraph& gr) {
+          const std::vector<double> w(
+              static_cast<size_t>(gr.num_edges()), 1.0);
+          return routing::softmin_routing(gr, w);
+        });
+    const auto multipath = evaluate_fixed(
+        {scenario}, memory, cache, [](const graph::DiGraph& gr) {
+          return routing::uniform_multipath_routing(
+              gr, graph::unit_weights(gr), 3);
+        });
+    // Static data-driven baseline: optimal for the mean of the training
+    // sequence, then fixed.
+    const auto mean_dm = evaluate_fixed(
+        {scenario}, memory, cache, [&](const graph::DiGraph& gr) {
+          return routing::mean_demand_optimal_routing(
+              gr, scenario.train_sequences[0]);
+        });
+
+    // FPTAS cross-check on the first test DM.
+    const auto& dm = scenario.test_sequences[0][5];
+    const double lp_opt = cache.u_max(g, dm);
+    mcf::FptasOptions fopt;
+    fopt.epsilon = 0.05;
+    const double fptas = mcf::approx_optimal_u_max(g, dm, fopt);
+
+    table.add_row({name, std::to_string(g.num_nodes()),
+                   std::to_string(g.num_edges()), util::fmt(sp.mean_ratio),
+                   util::fmt(ecmp.mean_ratio), util::fmt(neutral.mean_ratio),
+                   util::fmt(multipath.mean_ratio),
+                   util::fmt(mean_dm.mean_ratio),
+                   util::fmt(lp_opt > 0 ? fptas / lp_opt : 0.0)});
+  }
+  table.print();
+  std::printf("\nexpectations: every scheme >= 1.0; neutral softmin "
+              "(multipath spreading) at or below single shortest-path on "
+              "most topologies; FPTAS/LP within [1.0, %.3f].\n",
+              1.0 / (1.0 - 3 * 0.05));
+  return 0;
+}

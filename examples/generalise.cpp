@@ -1,0 +1,93 @@
+// Generalisation across topologies — the paper's central claim.
+//
+// Trains one GNN agent on a mixture of small topologies, then evaluates
+// the *same* agent (no retraining, no reconstruction) on a topology it has
+// never seen, including a randomly mutated variant.  An MLP agent cannot
+// even be constructed for the unseen graphs: its input/output sizes are
+// fixed.
+//
+// Usage:  ./build/examples/generalise [train_steps]   (default 8000)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/evaluate.hpp"
+#include "core/experiment.hpp"
+#include "core/policies.hpp"
+#include "core/routing_env.hpp"
+#include "rl/ppo.hpp"
+#include "topo/mutate.hpp"
+#include "topo/zoo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gddr;
+  using namespace gddr::core;
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+
+  const long train_steps = argc > 1 ? std::strtol(argv[1], nullptr, 10)
+                                    : 8000;
+  const int memory = 5;
+  ScenarioParams params = experiment_scenario_params();
+
+  // Training mixture: three small topologies.
+  util::Rng rng(1);
+  std::vector<Scenario> train_set;
+  for (const auto& name : {"SmallRing", "JanetLike", "MetroLike"}) {
+    train_set.push_back(make_scenario(topo::by_name(name), params, rng));
+    std::printf("training topology: %-10s |V|=%d |E|=%d\n", name,
+                train_set.back().graph.num_nodes(),
+                train_set.back().graph.num_edges());
+  }
+
+  EnvConfig env_cfg;
+  env_cfg.memory = memory;
+  RoutingEnv env(train_set, env_cfg, 7);
+  util::Rng prng(2);
+  GnnPolicy policy(experiment_gnn_config(memory), prng);
+  rl::PpoTrainer trainer(policy, env, routing_ppo_config(), 3);
+  std::printf("\ntraining one agent (%zu parameters) across the mixture "
+              "for %ld steps...\n",
+              policy.num_parameters(), train_steps);
+  trainer.train(train_steps);
+  const EvalResult on_mixture = evaluate_policy(trainer, env);
+  std::printf("on the training mixture's test sequences: %.4f x optimal\n",
+              on_mixture.mean_ratio);
+
+  // Transfer target 1: an entirely unseen topology.
+  {
+    util::Rng rng2(11);
+    std::vector<Scenario> unseen{
+        make_scenario(topo::by_name("RenaterLike"), params, rng2)};
+    mcf::OptimalCache cache;
+    const EvalResult sp = evaluate_shortest_path(unseen, memory, cache);
+    RoutingEnv unseen_env(unseen, env_cfg, 13);
+    const EvalResult transfer = evaluate_policy(trainer, unseen_env);
+    std::printf("\nunseen topology RenaterLike (|V|=12): agent %.4f vs "
+                "shortest-path %.4f\n",
+                transfer.mean_ratio, sp.mean_ratio);
+  }
+
+  // Transfer target 2: a mutated variant of a training topology
+  // (the paper's "small modifications" case).
+  {
+    util::Rng mrng(17);
+    std::vector<topo::Mutation> applied;
+    graph::DiGraph mutated =
+        topo::mutate(topo::by_name("MetroLike"), 2, mrng, &applied);
+    std::printf("\nmutated MetroLike:");
+    for (const auto& m : applied) std::printf(" [%s]", m.description.c_str());
+    std::printf("\n");
+    util::Rng rng3(19);
+    std::vector<Scenario> mutated_set{
+        make_scenario(std::move(mutated), params, rng3)};
+    mcf::OptimalCache cache;
+    const EvalResult sp = evaluate_shortest_path(mutated_set, memory, cache);
+    RoutingEnv mutated_env(mutated_set, env_cfg, 23);
+    const EvalResult transfer = evaluate_policy(trainer, mutated_env);
+    std::printf("mutated topology: agent %.4f vs shortest-path %.4f\n",
+                transfer.mean_ratio, sp.mean_ratio);
+  }
+
+  std::printf("\nthe same parameter vector served every topology above — "
+              "the generalisation the paper's Figure 8 demonstrates.\n");
+  return 0;
+}

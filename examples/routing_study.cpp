@@ -1,0 +1,89 @@
+// A study of classical routing strategies across the topology catalogue:
+// how far from the multicommodity-flow optimum does each scheme land, and
+// how does that depend on the network's structure?
+//
+// This example exercises the full non-learning surface of the library:
+// topology catalogue, traffic generation, the LP solver, the FPTAS, the
+// softmin translation and every baseline routing scheme.
+//
+// Usage:  ./build/examples/routing_study
+#include <cstdio>
+
+#include "graph/algorithms.hpp"
+#include "mcf/fptas.hpp"
+#include "mcf/optimal.hpp"
+#include "routing/baselines.hpp"
+#include "routing/softmin.hpp"
+#include "topo/zoo.hpp"
+#include "traffic/generators.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gddr;
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  std::printf("=== Routing strategies vs the MCF optimum, per topology ===\n");
+  std::printf("(mean over 8 bimodal demand matrices; 1.0 = optimal)\n\n");
+
+  traffic::BimodalParams demand_model;
+  demand_model.pair_density = 0.25;
+  demand_model.elephant_mean = 1200.0;
+
+  util::Table table({"topology", "|V|", "|E|", "SP", "ECMP",
+                     "softmin g=1", "softmin g=4", "k=3 paths",
+                     "FPTAS err%"});
+  for (const auto& name : topo::catalogue_names()) {
+    const graph::DiGraph g = topo::by_name(name);
+    util::Rng rng(1234);
+
+    util::RunningStat sp_stat;
+    util::RunningStat ecmp_stat;
+    util::RunningStat soft1_stat;
+    util::RunningStat soft4_stat;
+    util::RunningStat multi_stat;
+    util::RunningStat fptas_stat;
+
+    const auto w = graph::unit_weights(g);
+    const auto sp = routing::shortest_path_routing(g);
+    const auto ecmp = routing::ecmp_routing(g, w);
+    routing::SoftminOptions g1;
+    g1.gamma = 1.0;
+    routing::SoftminOptions g4;
+    g4.gamma = 4.0;
+    const std::vector<double> equal(static_cast<size_t>(g.num_edges()), 1.0);
+    const auto soft1 = routing::softmin_routing(g, equal, g1);
+    const auto soft4 = routing::softmin_routing(g, equal, g4);
+    const auto multi = routing::uniform_multipath_routing(g, w, 3);
+
+    for (int rep = 0; rep < 8; ++rep) {
+      const auto dm =
+          traffic::bimodal_matrix(g.num_nodes(), demand_model, rng);
+      const double u_opt = mcf::solve_optimal(g, dm).u_max;
+      if (u_opt <= 0.0) continue;
+      sp_stat.add(routing::simulate(g, sp, dm).u_max / u_opt);
+      ecmp_stat.add(routing::simulate(g, ecmp, dm).u_max / u_opt);
+      soft1_stat.add(routing::simulate(g, soft1, dm).u_max / u_opt);
+      soft4_stat.add(routing::simulate(g, soft4, dm).u_max / u_opt);
+      multi_stat.add(routing::simulate(g, multi, dm).u_max / u_opt);
+      mcf::FptasOptions fopt;
+      fopt.epsilon = 0.1;
+      fptas_stat.add(
+          100.0 * (mcf::approx_optimal_u_max(g, dm, fopt) / u_opt - 1.0));
+    }
+    table.add_row({name, std::to_string(g.num_nodes()),
+                   std::to_string(g.num_edges()),
+                   util::fmt(sp_stat.mean(), 3),
+                   util::fmt(ecmp_stat.mean(), 3),
+                   util::fmt(soft1_stat.mean(), 3),
+                   util::fmt(soft4_stat.mean(), 3),
+                   util::fmt(multi_stat.mean(), 3),
+                   util::fmt(fptas_stat.mean(), 2)});
+  }
+  table.print();
+  std::printf("\nobservations: multipath spreading (ECMP / softmin) wins "
+              "where the topology offers parallel paths; on tree-like "
+              "regions all schemes converge; the FPTAS tracks the LP "
+              "optimum within its guarantee, validating both solvers "
+              "against each other.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "core/evaluate.hpp"
+
+#include "routing/baselines.hpp"
+#include "util/stats.hpp"
+
+namespace gddr::core {
+
+namespace {
+
+EvalResult finish(const util::RunningStat& stat, int episodes) {
+  EvalResult r;
+  r.mean_ratio = stat.mean();
+  r.stddev = stat.stddev();
+  r.min_ratio = stat.min();
+  r.max_ratio = stat.max();
+  r.steps = static_cast<int>(stat.count());
+  r.episodes = episodes;
+  return r;
+}
+
+template <typename EnvT>
+EvalResult evaluate_policy_impl(rl::PpoTrainer& trainer, EnvT& env) {
+  // Evaluate on a copy: the caller may be mid-rollout on `env`, and
+  // driving episodes through the trainer's live environment would
+  // desynchronise the trainer's cached observation from the env state.
+  // The copy shares the optimal-utilisation cache (shared_ptr), so no LP
+  // work is repeated.
+  EnvT eval_env = env;
+  eval_env.set_mode(EnvT::Mode::kTest);
+  std::size_t episodes = 0;
+  // One episode per (scenario, test sequence) pair; set_mode reset the
+  // cursor so the sweep is exhaustive and deterministic.
+  util::RunningStat stat;
+  const std::size_t total = eval_env.num_test_episodes();
+  for (std::size_t ep = 0; ep < total; ++ep) {
+    rl::Observation obs = eval_env.reset();
+    for (;;) {
+      const std::vector<double> action = trainer.act_deterministic(obs);
+      auto result = eval_env.step(action);
+      if (result.reward != 0.0) stat.add(-result.reward);
+      if (result.done) break;
+      obs = std::move(result.obs);
+    }
+    ++episodes;
+  }
+  return finish(stat, static_cast<int>(episodes));
+}
+
+}  // namespace
+
+EvalResult evaluate_policy(rl::PpoTrainer& trainer, RoutingEnv& env) {
+  return evaluate_policy_impl(trainer, env);
+}
+
+EvalResult evaluate_policy(rl::PpoTrainer& trainer,
+                           IterativeRoutingEnv& env) {
+  return evaluate_policy_impl(trainer, env);
+}
+
+EvalResult evaluate_fixed(
+    const std::vector<Scenario>& scenarios, int memory,
+    mcf::OptimalCache& cache,
+    const std::function<routing::Routing(const graph::DiGraph&)>&
+        make_routing) {
+  util::RunningStat stat;
+  int episodes = 0;
+  for (const auto& scenario : scenarios) {
+    const routing::Routing strategy = make_routing(scenario.graph);
+    for (const auto& seq : scenario.test_sequences) {
+      for (std::size_t t = static_cast<std::size_t>(memory); t < seq.size();
+           ++t) {
+        const auto sim = routing::simulate(scenario.graph, strategy, seq[t]);
+        const double u_opt = cache.u_max(scenario.graph, seq[t]);
+        stat.add(u_opt > 0.0 ? sim.u_max / u_opt : 1.0);
+      }
+      ++episodes;
+    }
+  }
+  return finish(stat, episodes);
+}
+
+EvalResult evaluate_shortest_path(const std::vector<Scenario>& scenarios,
+                                  int memory, mcf::OptimalCache& cache) {
+  return evaluate_fixed(scenarios, memory, cache,
+                        [](const graph::DiGraph& g) {
+                          return routing::shortest_path_routing(g);
+                        });
+}
+
+}  // namespace gddr::core

@@ -1,0 +1,43 @@
+// Evaluation harness: the quantity plotted by the paper's Figures 6 and 8
+// is the mean over test demand matrices of U_max_agent / U_max_optimal
+// (lower is better, 1.0 is the LP optimum).
+#pragma once
+
+#include <functional>
+
+#include "core/iterative_env.hpp"
+#include "core/routing_env.hpp"
+#include "rl/ppo.hpp"
+
+namespace gddr::core {
+
+struct EvalResult {
+  double mean_ratio = 0.0;
+  double stddev = 0.0;
+  double min_ratio = 0.0;
+  double max_ratio = 0.0;
+  int steps = 0;     // demand matrices evaluated
+  int episodes = 0;  // test sequences evaluated
+};
+
+// Runs the trainer's deterministic policy over every test sequence of
+// every scenario in the environment (the env is switched to test mode and
+// back).  One episode per (scenario, test sequence).
+EvalResult evaluate_policy(rl::PpoTrainer& trainer, RoutingEnv& env);
+EvalResult evaluate_policy(rl::PpoTrainer& trainer, IterativeRoutingEnv& env);
+
+// Evaluates a fixed (non-learned) routing scheme on the test sequences of
+// `scenarios`.  `make_routing` builds the scheme once per topology; the
+// same demand-matrix indices as the RL episodes ([memory, length)) are
+// scored so results are directly comparable.
+EvalResult evaluate_fixed(
+    const std::vector<Scenario>& scenarios, int memory,
+    mcf::OptimalCache& cache,
+    const std::function<routing::Routing(const graph::DiGraph&)>&
+        make_routing);
+
+// Hop-count shortest-path routing (the paper's dotted baseline).
+EvalResult evaluate_shortest_path(const std::vector<Scenario>& scenarios,
+                                  int memory, mcf::OptimalCache& cache);
+
+}  // namespace gddr::core

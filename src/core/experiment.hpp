@@ -1,0 +1,50 @@
+// Shared experiment configuration for the paper-reproduction benches and
+// the examples — one source of truth for the tuned hyperparameters.
+//
+// Two reproduction-critical findings (documented in DESIGN.md §4) are
+// encoded here:
+//
+//  * Bandit credit assignment.  In data-driven routing the agent's action
+//    never influences the demand process, so the return of an action is
+//    exactly its immediate reward.  PPO therefore runs with gamma = 0
+//    (advantage = r - V(s)), which removes all inter-timestep variance
+//    from the gradient; with the conventional gamma = 0.99 the learning
+//    signal is drowned and agents plateau at the neutral policy.  The
+//    iterative environment is the exception: within one demand-matrix
+//    step, earlier micro-actions do shape the final reward, so it uses a
+//    gamma high enough to span |E| micro-steps.
+//
+//  * Heavy-tailed sparse traffic.  With dense near-uniform demand, plain
+//    shortest-path routing is already within a few percent of the
+//    multicommodity-flow optimum on Topology-Zoo graphs and there is
+//    nothing to learn; the paper's "occasional elephant flows" motivation
+//    is reproduced with sparse pairs and a strong mouse/elephant split.
+#pragma once
+
+#include "core/policies.hpp"
+#include "core/scenario.hpp"
+#include "rl/ppo.hpp"
+
+namespace gddr::core {
+
+// Traffic model used by all figure benches: sparse, heavy-tailed bimodal.
+ScenarioParams experiment_scenario_params();
+
+// PPO tuned for the one-shot routing environment (bandit credit).
+rl::PpoConfig routing_ppo_config();
+
+// PPO tuned for the iterative environment (sparse within-DM rewards).
+rl::PpoConfig iterative_ppo_config(int edges_per_step);
+
+// Policy configurations used by the figure benches.
+GnnPolicyConfig experiment_gnn_config(int memory);
+IterativeGnnPolicyConfig experiment_iterative_gnn_config(int memory);
+MlpPolicyConfig experiment_mlp_config();
+
+// Training budget for benches: the paper trains for 500k environment
+// steps; benches default to `default_steps` so the whole suite runs in
+// minutes.  Override with GDDR_TRAIN_STEPS=<n> or GDDR_BENCH_SCALE=paper
+// (which selects 500k).
+long bench_train_steps(long default_steps);
+
+}  // namespace gddr::core

@@ -1,0 +1,170 @@
+#include "core/iterative_env.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "routing/routing.hpp"
+
+namespace gddr::core {
+
+using rl::Observation;
+
+IterativeRoutingEnv::IterativeRoutingEnv(std::vector<Scenario> scenarios,
+                                         IterativeEnvConfig config,
+                                         std::uint64_t seed)
+    : scenarios_(std::move(scenarios)),
+      config_(config),
+      rng_(seed),
+      cache_(std::make_shared<mcf::OptimalCache>()) {
+  if (scenarios_.empty()) {
+    throw std::invalid_argument("IterativeRoutingEnv: no scenarios");
+  }
+  for (const auto& s : scenarios_) {
+    if (s.train_sequences.empty() || s.test_sequences.empty()) {
+      throw std::invalid_argument(
+          "IterativeRoutingEnv: scenario missing sequences");
+    }
+  }
+  if (!(config_.min_gamma > 0.0) || !(config_.max_gamma > config_.min_gamma)) {
+    throw std::invalid_argument("IterativeRoutingEnv: bad gamma range");
+  }
+}
+
+void IterativeRoutingEnv::set_mode(Mode mode) {
+  mode_ = mode;
+  test_cursor_ = 0;
+  in_sequence_ = false;  // next reset starts a fresh sequence
+}
+
+const graph::DiGraph& IterativeRoutingEnv::current_graph() const {
+  return scenarios_[scenario_idx_].graph;
+}
+
+std::size_t IterativeRoutingEnv::num_test_episodes() const {
+  // One episode per demand matrix of every test sequence.
+  std::size_t total = 0;
+  for (const auto& s : scenarios_) {
+    for (const auto& seq : s.test_sequences) {
+      total += seq.size() - static_cast<size_t>(config_.memory);
+    }
+  }
+  return total;
+}
+
+const traffic::DemandSequence& IterativeRoutingEnv::current_sequence() const {
+  const Scenario& s = scenarios_[scenario_idx_];
+  return mode_ == Mode::kTrain ? s.train_sequences[sequence_idx_]
+                               : s.test_sequences[sequence_idx_];
+}
+
+double IterativeRoutingEnv::map_gamma(double a) const {
+  const double x = std::clamp(a, -1.0, 1.0);
+  const double log_lo = std::log(config_.min_gamma);
+  const double log_hi = std::log(config_.max_gamma);
+  return std::exp(log_lo + (x + 1.0) * 0.5 * (log_hi - log_lo));
+}
+
+void IterativeRoutingEnv::start_dm_step() {
+  edge_cursor_ = 0;
+  pending_weights_.assign(
+      static_cast<size_t>(current_graph().num_edges()), 0.0);
+}
+
+Observation IterativeRoutingEnv::build_iterative_observation() const {
+  // Base observation: demand history for the DM about to be routed.
+  Observation obs = RoutingEnv::build_observation(
+      scenarios_[scenario_idx_], current_sequence(), t_, config_.memory);
+  // Edge attributes per Eq. 6 — (weight_i, set_i, target_i) — plus the
+  // normalised link capacity carried over from the base observation (see
+  // RoutingEnv::build_observation for why capacity must be visible).
+  const int ne = current_graph().num_edges();
+  nn::Tensor capacity_feature = obs.edges;  // ne x 1
+  obs.edges = nn::Tensor(ne, 4);
+  for (int e = 0; e < ne; ++e) {
+    const bool set = e < edge_cursor_;
+    obs.edges.at(e, 0) =
+        set ? static_cast<float>(pending_weights_[static_cast<size_t>(e)])
+            : 0.0F;
+    obs.edges.at(e, 1) = set ? 1.0F : 0.0F;
+    obs.edges.at(e, 2) = (e == edge_cursor_) ? 1.0F : 0.0F;
+    obs.edges.at(e, 3) = capacity_feature.at(e, 0);
+  }
+  return obs;
+}
+
+Observation IterativeRoutingEnv::reset() {
+  // Episodes are per demand matrix; only pick a new (scenario, sequence)
+  // once the current sequence has been exhausted.
+  if (!in_sequence_) {
+    if (mode_ == Mode::kTrain) {
+      scenario_idx_ = rng_.uniform_index(scenarios_.size());
+      sequence_idx_ = rng_.uniform_index(
+          scenarios_[scenario_idx_].train_sequences.size());
+    } else {
+      std::size_t total = 0;
+      for (const auto& s : scenarios_) total += s.test_sequences.size();
+      std::size_t idx = test_cursor_ % total;
+      scenario_idx_ = 0;
+      while (idx >= scenarios_[scenario_idx_].test_sequences.size()) {
+        idx -= scenarios_[scenario_idx_].test_sequences.size();
+        ++scenario_idx_;
+      }
+      sequence_idx_ = idx;
+      test_cursor_ = (test_cursor_ + 1) % total;
+    }
+    t_ = config_.memory;
+    in_sequence_ = true;
+  }
+  start_dm_step();
+  return build_iterative_observation();
+}
+
+rl::Env::StepResult IterativeRoutingEnv::step(std::span<const double> action) {
+  if (action.size() != 2) {
+    throw std::invalid_argument(
+        "IterativeRoutingEnv::step: action must be (weight, gamma)");
+  }
+  const graph::DiGraph& g = current_graph();
+  if (t_ >= static_cast<int>(current_sequence().size())) {
+    throw std::logic_error(
+        "IterativeRoutingEnv::step: episode is over — call reset() first");
+  }
+  pending_weights_[static_cast<size_t>(edge_cursor_)] =
+      std::clamp(action[0], -1.0, 1.0);
+  ++edge_cursor_;
+
+  StepResult result;
+  if (edge_cursor_ < g.num_edges()) {
+    // More edges to set for this DM; no reward yet.
+    result.reward = 0.0;
+    result.done = false;
+    result.obs = build_iterative_observation();
+    return result;
+  }
+
+  // Final iteration for this DM: translate and score (gamma read here,
+  // paper Eq. 7).
+  const auto& seq = current_sequence();
+  const auto& dm = seq[static_cast<size_t>(t_)];
+  const std::vector<double> weights = routing::weights_from_actions(
+      pending_weights_, config_.min_weight, config_.max_weight);
+  routing::SoftminOptions softmin = config_.softmin;
+  softmin.gamma = map_gamma(action[1]);
+  const routing::Routing strategy = routing::softmin_routing(g, weights,
+                                                             softmin);
+  const auto sim = routing::simulate(g, strategy, dm);
+  const double u_opt = cache_->u_max(g, dm);
+  last_ratio_ = u_opt > 0.0 ? sim.u_max / u_opt : 1.0;
+  result.reward = -last_ratio_;
+
+  // The demand matrix is fully routed: the episode ends here.  reset()
+  // continues with the sequence's next DM (or a new sequence when this
+  // one is exhausted).
+  ++t_;
+  result.done = true;
+  if (t_ >= static_cast<int>(seq.size())) in_sequence_ = false;
+  return result;
+}
+
+}  // namespace gddr::core

@@ -1,0 +1,225 @@
+#include "core/policies.hpp"
+
+#include <stdexcept>
+
+namespace gddr::core {
+
+using gnn::EncodeProcessDecodeConfig;
+using gnn::GraphSpec;
+using gnn::GraphVars;
+using nn::Tape;
+using nn::Tensor;
+
+namespace {
+
+nn::MlpConfig mlp_config(const std::vector<int>& hidden, double output_scale) {
+  nn::MlpConfig cfg;
+  cfg.hidden = hidden;
+  cfg.hidden_activation = nn::Activation::kTanh;
+  cfg.output_activation = nn::Activation::kIdentity;
+  cfg.output_scale = output_scale;
+  return cfg;
+}
+
+// Assembles the on-tape graph attributes from an observation.
+GraphVars graph_vars_from(Tape& tape, const rl::Observation& obs) {
+  return GraphVars{tape.constant(obs.nodes), tape.constant(obs.edges),
+                   tape.constant(obs.globals)};
+}
+
+GraphSpec spec_from(const rl::Observation& obs) {
+  GraphSpec spec;
+  spec.num_nodes = obs.num_nodes;
+  spec.senders = obs.senders;
+  spec.receivers = obs.receivers;
+  return spec;
+}
+
+}  // namespace
+
+// ---------------- MlpPolicy ----------------
+
+MlpPolicy::MlpPolicy(int obs_dim, int action_dim,
+                     const MlpPolicyConfig& config, util::Rng& rng)
+    : obs_dim_(obs_dim),
+      action_dim_(action_dim),
+      pi_(obs_dim, action_dim, mlp_config(config.pi_hidden, 0.01), rng),
+      vf_(obs_dim, 1, mlp_config(config.vf_hidden, 1.0), rng),
+      log_std_(Tensor(1, action_dim,
+                      static_cast<float>(config.init_log_std))) {}
+
+int MlpPolicy::action_dim(const rl::Observation& obs) const {
+  if (static_cast<int>(obs.flat.size()) != obs_dim_) {
+    throw std::invalid_argument(
+        "MlpPolicy: observation size " + std::to_string(obs.flat.size()) +
+        " != configured " + std::to_string(obs_dim_) +
+        " (MLP policies are fixed to one topology)");
+  }
+  return action_dim_;
+}
+
+Tape::Var MlpPolicy::action_mean(Tape& tape, const rl::Observation& obs) {
+  (void)action_dim(obs);  // validates the observation size
+  const Tape::Var x = tape.constant(Tensor::row(
+      std::span<const double>(obs.flat.data(), obs.flat.size())));
+  return pi_.forward(tape, x);
+}
+
+Tape::Var MlpPolicy::value(Tape& tape, const rl::Observation& obs) {
+  const Tape::Var x = tape.constant(Tensor::row(
+      std::span<const double>(obs.flat.data(), obs.flat.size())));
+  return vf_.forward(tape, x);
+}
+
+Tape::Var MlpPolicy::log_std_row(Tape& tape, int adim) {
+  if (adim != action_dim_) {
+    throw std::invalid_argument("MlpPolicy: action dim mismatch");
+  }
+  return tape.leaf(log_std_);
+}
+
+std::vector<nn::Parameter*> MlpPolicy::parameters() {
+  std::vector<nn::Parameter*> params = pi_.parameters();
+  for (auto* p : vf_.parameters()) params.push_back(p);
+  params.push_back(&log_std_);
+  return params;
+}
+
+std::size_t MlpPolicy::num_parameters() const {
+  return pi_.num_parameters() + vf_.num_parameters() + log_std_.size();
+}
+
+// ---------------- GnnPolicy ----------------
+
+namespace {
+
+EncodeProcessDecodeConfig gnn_pi_config(const GnnPolicyConfig& c) {
+  EncodeProcessDecodeConfig cfg;
+  cfg.node_in = c.node_feature_width > 0 ? c.node_feature_width
+                                         : 2 * c.memory;
+  cfg.edge_in = 1;
+  cfg.global_in = 1;
+  cfg.latent = c.latent;
+  cfg.steps = c.steps;
+  cfg.node_out = 1;
+  cfg.edge_out = 1;  // one routing weight per edge (Eq. 5)
+  cfg.global_out = 1;
+  cfg.mlp_hidden = c.mlp_hidden;
+  cfg.decoder_output_scale = c.output_scale;
+  return cfg;
+}
+
+EncodeProcessDecodeConfig gnn_vf_config(const GnnPolicyConfig& c) {
+  EncodeProcessDecodeConfig cfg = gnn_pi_config(c);
+  cfg.global_out = 1;  // value read from the global attribute
+  cfg.decoder_output_scale = 1.0;
+  return cfg;
+}
+
+}  // namespace
+
+GnnPolicy::GnnPolicy(const GnnPolicyConfig& config, util::Rng& rng)
+    : config_(config),
+      pi_(gnn_pi_config(config), rng),
+      vf_(gnn_vf_config(config), rng),
+      log_std_scalar_(Tensor(1, 1, static_cast<float>(config.init_log_std))) {}
+
+int GnnPolicy::action_dim(const rl::Observation& obs) const {
+  return static_cast<int>(obs.senders.size());
+}
+
+Tape::Var GnnPolicy::action_mean(Tape& tape, const rl::Observation& obs) {
+  const GraphSpec spec = spec_from(obs);
+  const GraphVars out = pi_.forward(tape, spec, graph_vars_from(tape, obs));
+  // Decoded edge attributes (E x 1) -> action row (1 x E).
+  return tape.reshape(out.edges, 1, spec.num_edges());
+}
+
+Tape::Var GnnPolicy::value(Tape& tape, const rl::Observation& obs) {
+  const GraphSpec spec = spec_from(obs);
+  const GraphVars out = vf_.forward(tape, spec, graph_vars_from(tape, obs));
+  return out.globals;  // 1 x 1
+}
+
+Tape::Var GnnPolicy::log_std_row(Tape& tape, int adim) {
+  return tape.broadcast_cols(tape.leaf(log_std_scalar_), adim);
+}
+
+std::vector<nn::Parameter*> GnnPolicy::parameters() {
+  std::vector<nn::Parameter*> params = pi_.parameters();
+  for (auto* p : vf_.parameters()) params.push_back(p);
+  params.push_back(&log_std_scalar_);
+  return params;
+}
+
+std::size_t GnnPolicy::num_parameters() const {
+  return pi_.num_parameters() + vf_.num_parameters() + log_std_scalar_.size();
+}
+
+// ---------------- IterativeGnnPolicy ----------------
+
+namespace {
+
+EncodeProcessDecodeConfig iter_pi_config(const IterativeGnnPolicyConfig& c) {
+  EncodeProcessDecodeConfig cfg;
+  cfg.node_in = 2 * c.memory;
+  cfg.edge_in = 4;  // Eq. 6's (weight, set, target) + normalised capacity
+  cfg.global_in = 1;
+  cfg.latent = c.latent;
+  cfg.steps = c.steps;
+  cfg.node_out = 1;
+  cfg.edge_out = 1;
+  cfg.global_out = 2;  // (weight, gamma) per Eq. 7
+  cfg.mlp_hidden = c.mlp_hidden;
+  cfg.decoder_output_scale = c.output_scale;
+  return cfg;
+}
+
+EncodeProcessDecodeConfig iter_vf_config(const IterativeGnnPolicyConfig& c) {
+  EncodeProcessDecodeConfig cfg = iter_pi_config(c);
+  cfg.global_out = 1;
+  cfg.decoder_output_scale = 1.0;
+  return cfg;
+}
+
+}  // namespace
+
+IterativeGnnPolicy::IterativeGnnPolicy(const IterativeGnnPolicyConfig& config,
+                                       util::Rng& rng)
+    : config_(config),
+      pi_(iter_pi_config(config), rng),
+      vf_(iter_vf_config(config), rng),
+      log_std_(Tensor(1, 2, static_cast<float>(config.init_log_std))) {}
+
+Tape::Var IterativeGnnPolicy::action_mean(Tape& tape,
+                                          const rl::Observation& obs) {
+  const GraphSpec spec = spec_from(obs);
+  const GraphVars out = pi_.forward(tape, spec, graph_vars_from(tape, obs));
+  return out.globals;
+}
+
+Tape::Var IterativeGnnPolicy::value(Tape& tape, const rl::Observation& obs) {
+  const GraphSpec spec = spec_from(obs);
+  const GraphVars out = vf_.forward(tape, spec, graph_vars_from(tape, obs));
+  return out.globals;
+}
+
+Tape::Var IterativeGnnPolicy::log_std_row(Tape& tape, int adim) {
+  if (adim != 2) {
+    throw std::invalid_argument("IterativeGnnPolicy: action dim must be 2");
+  }
+  return tape.leaf(log_std_);
+}
+
+std::vector<nn::Parameter*> IterativeGnnPolicy::parameters() {
+  std::vector<nn::Parameter*> params = pi_.parameters();
+  for (auto* p : vf_.parameters()) params.push_back(p);
+  params.push_back(&log_std_);
+  return params;
+}
+
+std::size_t IterativeGnnPolicy::num_parameters() const {
+  return pi_.num_parameters() + vf_.num_parameters() + log_std_.size();
+}
+
+}  // namespace gddr::core

@@ -1,0 +1,214 @@
+#include "core/routing_env.hpp"
+
+#include <stdexcept>
+
+#include "routing/baselines.hpp"
+#include "routing/routing.hpp"
+
+namespace gddr::core {
+
+using rl::Observation;
+
+RoutingEnv::RoutingEnv(std::vector<Scenario> scenarios, EnvConfig config,
+                       std::uint64_t seed)
+    : scenarios_(std::move(scenarios)),
+      config_(config),
+      rng_(seed),
+      cache_(std::make_shared<mcf::OptimalCache>()) {
+  if (scenarios_.empty()) {
+    throw std::invalid_argument("RoutingEnv: no scenarios");
+  }
+  for (const auto& s : scenarios_) {
+    if (s.train_sequences.empty() || s.test_sequences.empty()) {
+      throw std::invalid_argument("RoutingEnv: scenario missing sequences");
+    }
+    for (const auto& seq : s.train_sequences) {
+      if (static_cast<int>(seq.size()) <= config_.memory) {
+        throw std::invalid_argument("RoutingEnv: sequence shorter than memory");
+      }
+    }
+  }
+}
+
+void RoutingEnv::set_mode(Mode mode) {
+  mode_ = mode;
+  test_cursor_ = 0;
+}
+
+const Scenario& RoutingEnv::current_scenario() const {
+  return scenarios_[scenario_idx_];
+}
+
+const graph::DiGraph& RoutingEnv::current_graph() const {
+  return current_scenario().graph;
+}
+
+const traffic::DemandSequence& RoutingEnv::current_sequence() const {
+  const Scenario& s = current_scenario();
+  return mode_ == Mode::kTrain ? s.train_sequences[sequence_idx_]
+                               : s.test_sequences[sequence_idx_];
+}
+
+int RoutingEnv::episode_length() const {
+  return static_cast<int>(current_sequence().size()) - config_.memory;
+}
+
+std::size_t RoutingEnv::num_test_episodes() const {
+  std::size_t total = 0;
+  for (const auto& s : scenarios_) total += s.test_sequences.size();
+  return total;
+}
+
+int RoutingEnv::action_dim() const {
+  const graph::DiGraph& g = current_graph();
+  return config_.action_space == ActionSpace::kEdgeWeights
+             ? g.num_edges()
+             : g.num_nodes() * g.num_edges();
+}
+
+Observation RoutingEnv::build_observation(const Scenario& scenario,
+                                          const traffic::DemandSequence& seq,
+                                          int t, int memory,
+                                          NodeFeatureMode node_features) {
+  const graph::DiGraph& g = scenario.graph;
+  const int n = g.num_nodes();
+  Observation obs;
+  obs.num_nodes = n;
+  obs.senders.reserve(static_cast<size_t>(g.num_edges()));
+  obs.receivers.reserve(static_cast<size_t>(g.num_edges()));
+  for (const auto& e : g.edges()) {
+    obs.senders.push_back(e.src);
+    obs.receivers.push_back(e.dst);
+  }
+
+  // Flat observation: the `memory` previous demand matrices, oldest first,
+  // every entry divided by the scenario's flat scale (paper §V-B input
+  // normalisation).
+  obs.flat.reserve(static_cast<size_t>(memory) * n * n);
+  // Node features: per history step, either the paper's Eq.-4 compression
+  // ((sum outgoing, sum incoming) per vertex) or the full demand row and
+  // column of each vertex (ablation mode; see NodeFeatureMode).
+  const bool full = node_features == NodeFeatureMode::kFullDemandRows;
+  obs.nodes = nn::Tensor(n, full ? 2 * n * memory : 2 * memory);
+  for (int h = 0; h < memory; ++h) {
+    const auto& dm = seq[static_cast<size_t>(t - memory + h)];
+    for (int s = 0; s < n; ++s) {
+      for (int d = 0; d < n; ++d) {
+        obs.flat.push_back(dm.at(s, d) / scenario.flat_feature_scale);
+      }
+      if (full) {
+        for (int d = 0; d < n; ++d) {
+          const double out = s == d ? 0.0 : dm.at(s, d);
+          const double in = s == d ? 0.0 : dm.at(d, s);
+          obs.nodes.at(s, h * 2 * n + d) =
+              static_cast<float>(out / scenario.flat_feature_scale);
+          obs.nodes.at(s, h * 2 * n + n + d) =
+              static_cast<float>(in / scenario.flat_feature_scale);
+        }
+      } else {
+        obs.nodes.at(s, 2 * h) = static_cast<float>(
+            dm.out_sum(s) / scenario.node_feature_scale);
+        obs.nodes.at(s, 2 * h + 1) = static_cast<float>(
+            dm.in_sum(s) / scenario.node_feature_scale);
+      }
+    }
+  }
+  // Edge input: the link's capacity, normalised by the graph's maximum
+  // capacity.  The paper's graph model G = (V, E, c) makes capacities
+  // known; without this feature a permutation-equivariant GNN cannot
+  // distinguish structurally symmetric links of different bandwidths (the
+  // paper's Abilene experiments use uniform capacities, where the feature
+  // is constant and harmless).
+  obs.edges = nn::Tensor(g.num_edges(), 1);
+  double max_capacity = 0.0;
+  for (const auto& e : g.edges()) {
+    max_capacity = std::max(max_capacity, e.capacity);
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    obs.edges.at(e, 0) =
+        static_cast<float>(g.edge(e).capacity / max_capacity);
+  }
+  obs.globals = nn::Tensor(1, 1);
+  return obs;
+}
+
+Observation RoutingEnv::reset() {
+  if (mode_ == Mode::kTrain) {
+    scenario_idx_ = rng_.uniform_index(scenarios_.size());
+    sequence_idx_ =
+        rng_.uniform_index(current_scenario().train_sequences.size());
+  } else {
+    // Deterministic sweep over (scenario, test sequence).
+    std::size_t total = 0;
+    for (const auto& s : scenarios_) total += s.test_sequences.size();
+    std::size_t idx = test_cursor_ % total;
+    scenario_idx_ = 0;
+    while (idx >= scenarios_[scenario_idx_].test_sequences.size()) {
+      idx -= scenarios_[scenario_idx_].test_sequences.size();
+      ++scenario_idx_;
+    }
+    sequence_idx_ = idx;
+    test_cursor_ = (test_cursor_ + 1) % total;
+  }
+  t_ = config_.memory;
+  return build_observation(current_scenario(), current_sequence(), t_,
+                           config_.memory, config_.node_features);
+}
+
+rl::Env::StepResult RoutingEnv::step(std::span<const double> action) {
+  const graph::DiGraph& g = current_graph();
+  if (static_cast<int>(action.size()) != action_dim()) {
+    throw std::invalid_argument("RoutingEnv::step: action size mismatch");
+  }
+  const auto& seq = current_sequence();
+  if (t_ >= static_cast<int>(seq.size())) {
+    throw std::logic_error(
+        "RoutingEnv::step: episode is over — call reset() first");
+  }
+  const auto& dm = seq[static_cast<size_t>(t_)];
+
+  routing::Routing strategy;
+  if (config_.action_space == ActionSpace::kEdgeWeights) {
+    const std::vector<double> weights = routing::weights_from_actions(
+        action, config_.min_weight, config_.max_weight);
+    strategy = routing::softmin_routing(g, weights, config_.softmin);
+  } else {
+    // Destination-major |V| x |E| action layout (paper §V-C intermediate).
+    std::vector<std::vector<double>> weights_by_dest(
+        static_cast<size_t>(g.num_nodes()));
+    for (graph::NodeId t = 0; t < g.num_nodes(); ++t) {
+      weights_by_dest[static_cast<size_t>(t)] =
+          routing::weights_from_actions(
+              action.subspan(static_cast<size_t>(t) *
+                                 static_cast<size_t>(g.num_edges()),
+                             static_cast<size_t>(g.num_edges())),
+              config_.min_weight, config_.max_weight);
+    }
+    strategy = routing::softmin_routing_per_destination(g, weights_by_dest,
+                                                        config_.softmin);
+  }
+  const auto sim = routing::simulate(g, strategy, dm);
+
+  double achieved = 0.0;
+  double optimal = 0.0;
+  if (config_.objective == Objective::kMaxUtilisation) {
+    achieved = sim.u_max;
+    optimal = cache_->u_max(g, dm);
+  } else {
+    achieved = routing::mean_utilisation(g, sim);
+    optimal = cache_->mean_util(g, dm);
+  }
+
+  StepResult result;
+  last_ratio_ = optimal > 0.0 ? achieved / optimal : 1.0;
+  result.reward = -last_ratio_;  // paper Eq. 2
+  ++t_;
+  result.done = t_ >= static_cast<int>(seq.size());
+  if (!result.done) {
+    result.obs = build_observation(current_scenario(), seq, t_,
+                                   config_.memory, config_.node_features);
+  }
+  return result;
+}
+
+}  // namespace gddr::core

@@ -1,0 +1,121 @@
+// The GDDR data-driven-routing environment (paper §V, Figure 1).
+//
+// One environment timestep:
+//  * the agent observes the previous `memory` demand matrices (as a
+//    flattened history for MLP policies and as per-node incoming/outgoing
+//    sums, paper Eq. 4, for GNN policies),
+//  * it emits one weight per edge (paper §V-C action space of size |E|),
+//  * the weights are translated into a routing via softmin routing with
+//    DAG pruning (paper §VI),
+//  * the routing is simulated on the *new* demand matrix and the reward is
+//    -U_max_agent / U_max_optimal (paper Eq. 2), with the optimum computed
+//    by the multicommodity-flow LP and memoised.
+//
+// The environment can hold several scenarios (graph + sequences); each
+// reset picks one, which is how multi-topology generalisation training
+// works (paper §VIII-D, Figure 8).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "mcf/cache.hpp"
+#include "rl/env.hpp"
+#include "routing/softmin.hpp"
+#include "util/rng.hpp"
+
+namespace gddr::core {
+
+// Which utility function the agent optimises (paper §IX lists exploring
+// different utility functions as further work).  Each objective is scored
+// against its own exact oracle: the MCF LP for max-utilisation, the
+// inverse-capacity shortest-path decomposition for mean-utilisation.
+enum class Objective { kMaxUtilisation, kMeanUtilisation };
+
+// GNN node-feature encoding (paper §V-B).  kInOutSums is the paper's
+// choice: per history step, each vertex carries (sum of outgoing demand,
+// sum of incoming demand) — O(1) per vertex, which is what lets one GNN
+// run on any topology.  kFullDemandRows keeps each vertex's full demand
+// row and column (O(|V|) per vertex) — more information, but the feature
+// width is tied to one topology, forfeiting generalisation; it exists for
+// the ablation that justifies the compression.
+enum class NodeFeatureMode { kInOutSums, kFullDemandRows };
+
+// Action-space translation (paper §V-C).  kEdgeWeights is the paper's
+// final choice: one weight per edge (|E| values).  kPerDestinationWeights
+// is the intermediate destination-only reduction the paper considered and
+// rejected as "still too large" (|V| x |E| values, destination-major);
+// it exists so the rejection can be tested with learning
+// (bench_action_space_learning).
+enum class ActionSpace { kEdgeWeights, kPerDestinationWeights };
+
+struct EnvConfig {
+  int memory = 5;  // demand-history length (paper: 5)
+  Objective objective = Objective::kMaxUtilisation;
+  NodeFeatureMode node_features = NodeFeatureMode::kInOutSums;
+  ActionSpace action_space = ActionSpace::kEdgeWeights;
+  routing::SoftminOptions softmin;
+  // Raw actions in [-1,1] map affinely onto [min_weight, max_weight].
+  // The range is deliberately narrow: with softmin spread gamma ~ 2, a
+  // max weight delta of 2.5 already expresses ~150:1 path preferences
+  // while keeping the reward landscape smooth enough for PPO (a wide
+  // range such as [0.1, 10] turns softmin into a hard argmin almost
+  // everywhere and gradients vanish).
+  double min_weight = 0.5;
+  double max_weight = 3.0;
+};
+
+class RoutingEnv final : public rl::Env {
+ public:
+  enum class Mode { kTrain, kTest };
+
+  RoutingEnv(std::vector<Scenario> scenarios, EnvConfig config,
+             std::uint64_t seed);
+
+  // Train mode samples (scenario, train sequence) randomly; test mode
+  // cycles deterministically through every (scenario, test sequence) pair.
+  void set_mode(Mode mode);
+  Mode mode() const { return mode_; }
+
+  rl::Observation reset() override;
+  StepResult step(std::span<const double> action) override;
+  int action_dim() const override;
+
+  // U_max_agent / U_max_optimal of the most recent step (the quantity the
+  // paper's Figures 6 and 8 plot; reward is its negation).
+  double last_ratio() const { return last_ratio_; }
+
+  const graph::DiGraph& current_graph() const;
+  const Scenario& current_scenario() const;
+  int episode_length() const;  // steps per episode in the current scenario
+  // Total (scenario, test sequence) pairs — one test episode each.
+  std::size_t num_test_episodes() const;
+
+  mcf::OptimalCache& cache() { return *cache_; }
+
+  // Builds the observation for position `t` (the action decided there is
+  // evaluated on demand matrix index t).  Exposed for the iterative
+  // environment and tests.
+  static rl::Observation build_observation(
+      const Scenario& scenario, const traffic::DemandSequence& seq, int t,
+      int memory,
+      NodeFeatureMode node_features = NodeFeatureMode::kInOutSums);
+
+ private:
+  const traffic::DemandSequence& current_sequence() const;
+
+  std::vector<Scenario> scenarios_;
+  EnvConfig config_;
+  util::Rng rng_;
+  std::shared_ptr<mcf::OptimalCache> cache_;
+
+  Mode mode_ = Mode::kTrain;
+  std::size_t scenario_idx_ = 0;
+  std::size_t sequence_idx_ = 0;
+  std::size_t test_cursor_ = 0;  // deterministic test-episode cycling
+  int t_ = 0;                    // index of the DM the next action routes
+  double last_ratio_ = 0.0;
+};
+
+}  // namespace gddr::core

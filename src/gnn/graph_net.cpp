@@ -1,0 +1,226 @@
+#include "gnn/graph_net.hpp"
+
+#include <stdexcept>
+
+namespace gddr::gnn {
+
+using nn::Mlp;
+using nn::MlpConfig;
+using nn::Tape;
+
+GraphSpec GraphSpec::from(const graph::DiGraph& g) {
+  GraphSpec spec;
+  spec.num_nodes = g.num_nodes();
+  spec.senders.reserve(static_cast<size_t>(g.num_edges()));
+  spec.receivers.reserve(static_cast<size_t>(g.num_edges()));
+  for (const auto& e : g.edges()) {
+    spec.senders.push_back(e.src);
+    spec.receivers.push_back(e.dst);
+  }
+  return spec;
+}
+
+namespace {
+
+MlpConfig make_mlp_config(const std::vector<int>& hidden, nn::Activation act,
+                          double output_scale = 1.0) {
+  MlpConfig cfg;
+  cfg.hidden = hidden;
+  cfg.hidden_activation = act;
+  cfg.output_activation = nn::Activation::kIdentity;
+  cfg.output_scale = output_scale;
+  return cfg;
+}
+
+void check_graph_vars(nn::Tape& tape, const GraphSpec& spec,
+                      const GraphVars& in, int node_dim, int edge_dim,
+                      int global_dim, const char* who) {
+  const auto& nv = tape.value(in.nodes);
+  const auto& ev = tape.value(in.edges);
+  const auto& gv = tape.value(in.globals);
+  if (nv.rows() != spec.num_nodes || nv.cols() != node_dim ||
+      ev.rows() != spec.num_edges() || ev.cols() != edge_dim ||
+      gv.rows() != 1 || gv.cols() != global_dim) {
+    throw std::invalid_argument(
+        std::string(who) + ": graph attribute shapes " + nv.shape_str() +
+        "/" + ev.shape_str() + "/" + gv.shape_str() +
+        " do not match the configured sizes");
+  }
+}
+
+}  // namespace
+
+GnBlock::GnBlock(const GnBlockConfig& config, util::Rng& rng)
+    : config_(config),
+      edge_mlp_(config.edge_in + 2 * config.node_in + config.global_in,
+                config.edge_out, make_mlp_config(config.mlp_hidden,
+                                                 config.activation),
+                rng),
+      node_mlp_(config.edge_out + config.node_in + config.global_in,
+                config.node_out, make_mlp_config(config.mlp_hidden,
+                                                 config.activation),
+                rng),
+      global_mlp_(config.edge_out + config.node_out + config.global_in,
+                  config.global_out, make_mlp_config(config.mlp_hidden,
+                                                     config.activation),
+                  rng) {}
+
+GraphVars GnBlock::forward(Tape& tape, const GraphSpec& spec,
+                           const GraphVars& in) {
+  check_graph_vars(tape, spec, in, config_.node_in, config_.edge_in,
+                   config_.global_in, "GnBlock");
+  const int num_edges = spec.num_edges();
+
+  // --- phi_e: update every edge from [e_k, v_sender, v_receiver, u] ---
+  const Tape::Var sender_feats = tape.gather_rows(in.nodes, spec.senders);
+  const Tape::Var receiver_feats = tape.gather_rows(in.nodes, spec.receivers);
+  const Tape::Var u_per_edge = tape.broadcast_rows(in.globals, num_edges);
+  Tape::Var edge_input = tape.concat_cols(in.edges, sender_feats);
+  edge_input = tape.concat_cols(edge_input, receiver_feats);
+  edge_input = tape.concat_cols(edge_input, u_per_edge);
+  const Tape::Var edges_out = edge_mlp_.forward(tape, edge_input);
+
+  // --- rho_{e->v}: aggregate updated edges at their receiver ---
+  const Tape::Var agg_edges =
+      tape.segment_sum(edges_out, spec.receivers, spec.num_nodes);
+
+  // --- phi_v: update every node from [agg_edges, v_i, u] ---
+  const Tape::Var u_per_node = tape.broadcast_rows(in.globals, spec.num_nodes);
+  Tape::Var node_input = tape.concat_cols(agg_edges, in.nodes);
+  node_input = tape.concat_cols(node_input, u_per_node);
+  const Tape::Var nodes_out = node_mlp_.forward(tape, node_input);
+
+  // --- rho_{e->u}, rho_{v->u}: pool everything for the global update ---
+  const Tape::Var all_edges = tape.sum_rows(edges_out);
+  const Tape::Var all_nodes = tape.sum_rows(nodes_out);
+
+  // --- phi_u ---
+  Tape::Var global_input = tape.concat_cols(all_edges, all_nodes);
+  global_input = tape.concat_cols(global_input, in.globals);
+  const Tape::Var globals_out = global_mlp_.forward(tape, global_input);
+
+  return GraphVars{nodes_out, edges_out, globals_out};
+}
+
+std::vector<nn::Parameter*> GnBlock::parameters() {
+  std::vector<nn::Parameter*> params = edge_mlp_.parameters();
+  for (auto* p : node_mlp_.parameters()) params.push_back(p);
+  for (auto* p : global_mlp_.parameters()) params.push_back(p);
+  return params;
+}
+
+std::size_t GnBlock::num_parameters() const {
+  return edge_mlp_.num_parameters() + node_mlp_.num_parameters() +
+         global_mlp_.num_parameters();
+}
+
+IndependentBlock::IndependentBlock(const IndependentConfig& config,
+                                   util::Rng& rng)
+    : config_(config),
+      node_mlp_(config.node_in, config.node_out,
+                make_mlp_config(config.mlp_hidden, config.activation,
+                                config.output_scale),
+                rng),
+      edge_mlp_(config.edge_in, config.edge_out,
+                make_mlp_config(config.mlp_hidden, config.activation,
+                                config.output_scale),
+                rng),
+      global_mlp_(config.global_in, config.global_out,
+                  make_mlp_config(config.mlp_hidden, config.activation,
+                                  config.output_scale),
+                  rng) {}
+
+GraphVars IndependentBlock::forward(Tape& tape, const GraphVars& in) {
+  return GraphVars{node_mlp_.forward(tape, in.nodes),
+                   edge_mlp_.forward(tape, in.edges),
+                   global_mlp_.forward(tape, in.globals)};
+}
+
+std::vector<nn::Parameter*> IndependentBlock::parameters() {
+  std::vector<nn::Parameter*> params = node_mlp_.parameters();
+  for (auto* p : edge_mlp_.parameters()) params.push_back(p);
+  for (auto* p : global_mlp_.parameters()) params.push_back(p);
+  return params;
+}
+
+std::size_t IndependentBlock::num_parameters() const {
+  return node_mlp_.num_parameters() + edge_mlp_.num_parameters() +
+         global_mlp_.num_parameters();
+}
+
+namespace {
+
+IndependentConfig encoder_config(const EncodeProcessDecodeConfig& c) {
+  IndependentConfig cfg;
+  cfg.node_in = c.node_in;
+  cfg.edge_in = c.edge_in;
+  cfg.global_in = c.global_in;
+  cfg.node_out = cfg.edge_out = cfg.global_out = c.latent;
+  cfg.mlp_hidden = c.mlp_hidden;
+  cfg.activation = c.activation;
+  return cfg;
+}
+
+GnBlockConfig core_config(const EncodeProcessDecodeConfig& c) {
+  GnBlockConfig cfg;
+  // The core consumes [encoded || previous latent] (the recurrent loop of
+  // Figure 5), hence doubled input widths.
+  cfg.node_in = cfg.edge_in = cfg.global_in = 2 * c.latent;
+  cfg.node_out = cfg.edge_out = cfg.global_out = c.latent;
+  cfg.mlp_hidden = c.mlp_hidden;
+  cfg.activation = c.activation;
+  return cfg;
+}
+
+IndependentConfig decoder_config(const EncodeProcessDecodeConfig& c) {
+  IndependentConfig cfg;
+  cfg.node_in = cfg.edge_in = cfg.global_in = c.latent;
+  cfg.node_out = c.node_out;
+  cfg.edge_out = c.edge_out;
+  cfg.global_out = c.global_out;
+  cfg.mlp_hidden = c.mlp_hidden;
+  cfg.activation = c.activation;
+  cfg.output_scale = c.decoder_output_scale;
+  return cfg;
+}
+
+}  // namespace
+
+EncodeProcessDecode::EncodeProcessDecode(
+    const EncodeProcessDecodeConfig& config, util::Rng& rng)
+    : config_(config),
+      encoder_(encoder_config(config), rng),
+      core_(core_config(config), rng),
+      decoder_(decoder_config(config), rng) {
+  if (config.steps < 1) {
+    throw std::invalid_argument("EncodeProcessDecode: steps < 1");
+  }
+}
+
+GraphVars EncodeProcessDecode::forward(Tape& tape, const GraphSpec& spec,
+                                       const GraphVars& in) {
+  const GraphVars encoded = encoder_.forward(tape, in);
+  GraphVars latent = encoded;
+  for (int step = 0; step < config_.steps; ++step) {
+    const GraphVars core_in{
+        tape.concat_cols(encoded.nodes, latent.nodes),
+        tape.concat_cols(encoded.edges, latent.edges),
+        tape.concat_cols(encoded.globals, latent.globals)};
+    latent = core_.forward(tape, spec, core_in);
+  }
+  return decoder_.forward(tape, latent);
+}
+
+std::vector<nn::Parameter*> EncodeProcessDecode::parameters() {
+  std::vector<nn::Parameter*> params = encoder_.parameters();
+  for (auto* p : core_.parameters()) params.push_back(p);
+  for (auto* p : decoder_.parameters()) params.push_back(p);
+  return params;
+}
+
+std::size_t EncodeProcessDecode::num_parameters() const {
+  return encoder_.num_parameters() + core_.num_parameters() +
+         decoder_.num_parameters();
+}
+
+}  // namespace gddr::gnn

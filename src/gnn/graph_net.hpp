@@ -1,0 +1,138 @@
+// Graph-network blocks (Battaglia et al. 2018), the GNN substrate of the
+// GDDR policies (paper §IV, §VII-A, Figure 5).
+//
+// A graph here is the 3-tuple (u, V, E): a global attribute row vector, a
+// node-attribute matrix (one row per vertex) and an edge-attribute matrix
+// (one row per directed edge) plus the fixed sender/receiver connectivity.
+//
+// The full GN block implements the paper's six functions:
+//   phi_e (edge update), phi_v (node update), phi_u (global update) as
+//   MLPs, and the three rho pooling functions as unsorted segment sums —
+//   exactly TensorFlow's tf.unsorted_segment_sum, as stated in §VII-A.
+//
+// EncodeProcessDecode composes an independent encoder (per-element MLPs,
+// no message passing), a recurrent full GN core applied `steps` times on
+// the concatenation of the encoded input and the previous latent (the
+// "extra loop" in the paper's Figure 5), and an independent decoder.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "nn/mlp.hpp"
+#include "nn/tape.hpp"
+#include "util/rng.hpp"
+
+namespace gddr::gnn {
+
+// Immutable connectivity: which node each directed edge leaves (sender)
+// and enters (receiver).
+struct GraphSpec {
+  int num_nodes = 0;
+  std::vector<int> senders;
+  std::vector<int> receivers;
+
+  static GraphSpec from(const graph::DiGraph& g);
+  int num_edges() const { return static_cast<int>(senders.size()); }
+};
+
+// On-tape attribute set for one graph.
+struct GraphVars {
+  nn::Tape::Var nodes;    // N x node_dim
+  nn::Tape::Var edges;    // E x edge_dim
+  nn::Tape::Var globals;  // 1 x global_dim
+};
+
+struct GnBlockConfig {
+  int node_in = 1;
+  int edge_in = 1;
+  int global_in = 1;
+  int node_out = 16;
+  int edge_out = 16;
+  int global_out = 16;
+  std::vector<int> mlp_hidden{32};
+  nn::Activation activation = nn::Activation::kRelu;
+};
+
+// Full graph-network block with edge, node and global updates.
+class GnBlock {
+ public:
+  GnBlock(const GnBlockConfig& config, util::Rng& rng);
+
+  GraphVars forward(nn::Tape& tape, const GraphSpec& spec,
+                    const GraphVars& in);
+
+  std::vector<nn::Parameter*> parameters();
+  std::size_t num_parameters() const;
+  const GnBlockConfig& config() const { return config_; }
+
+ private:
+  GnBlockConfig config_;
+  nn::Mlp edge_mlp_;    // phi_e
+  nn::Mlp node_mlp_;    // phi_v
+  nn::Mlp global_mlp_;  // phi_u
+};
+
+// Element-wise block: independent MLPs on nodes, edges and globals with no
+// message passing (the encoder / decoder of encode-process-decode).
+struct IndependentConfig {
+  int node_in = 1, edge_in = 1, global_in = 1;
+  int node_out = 16, edge_out = 16, global_out = 16;
+  std::vector<int> mlp_hidden{32};
+  nn::Activation activation = nn::Activation::kRelu;
+  // Initial scale of each MLP's output layer (see
+  // EncodeProcessDecodeConfig::decoder_output_scale).
+  double output_scale = 1.0;
+};
+
+class IndependentBlock {
+ public:
+  IndependentBlock(const IndependentConfig& config, util::Rng& rng);
+
+  GraphVars forward(nn::Tape& tape, const GraphVars& in);
+
+  std::vector<nn::Parameter*> parameters();
+  std::size_t num_parameters() const;
+
+ private:
+  IndependentConfig config_;
+  nn::Mlp node_mlp_;
+  nn::Mlp edge_mlp_;
+  nn::Mlp global_mlp_;
+};
+
+struct EncodeProcessDecodeConfig {
+  int node_in = 2;   // (sum outgoing, sum incoming) demand per vertex
+  int edge_in = 1;
+  int global_in = 1;
+  int latent = 16;
+  int steps = 3;  // message-passing iterations of the core
+  int node_out = 1;
+  int edge_out = 1;   // routing weight per edge (paper Eq. 5)
+  int global_out = 1;
+  std::vector<int> mlp_hidden{32};
+  nn::Activation activation = nn::Activation::kRelu;
+  // Initial scale of the decoder MLPs' output layers; policy heads use a
+  // small value (e.g. 0.01) so initial actions start near zero.
+  double decoder_output_scale = 1.0;
+};
+
+class EncodeProcessDecode {
+ public:
+  EncodeProcessDecode(const EncodeProcessDecodeConfig& config, util::Rng& rng);
+
+  GraphVars forward(nn::Tape& tape, const GraphSpec& spec,
+                    const GraphVars& in);
+
+  std::vector<nn::Parameter*> parameters();
+  std::size_t num_parameters() const;
+  const EncodeProcessDecodeConfig& config() const { return config_; }
+
+ private:
+  EncodeProcessDecodeConfig config_;
+  IndependentBlock encoder_;
+  GnBlock core_;
+  IndependentBlock decoder_;
+};
+
+}  // namespace gddr::gnn

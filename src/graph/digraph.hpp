@@ -1,0 +1,81 @@
+// Capacitated directed graph: the network substrate for all of GDDR.
+//
+// Nodes and edges are dense integer ids (NodeId in [0, num_nodes),
+// EdgeId in [0, num_edges)), which lets every downstream component (LP
+// formulations, routing tables, GNN feature matrices) index flat arrays by
+// id with no hashing.  Removal operations return compacted copies so ids
+// stay dense; topology mutation (the Figure-8 experiment) works on copies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gddr::graph {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+struct Edge {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double capacity = 1.0;
+};
+
+class DiGraph {
+ public:
+  DiGraph() = default;
+  explicit DiGraph(int num_nodes, std::string name = "");
+
+  // --- construction ---
+  NodeId add_node();
+  // Adds a directed edge u -> v.  Requires u != v (self-loops carry no
+  // traffic and break the routing translation) and valid node ids.
+  EdgeId add_edge(NodeId u, NodeId v, double capacity);
+  // Adds u -> v and v -> u with the same capacity; returns the first id.
+  EdgeId add_bidirectional(NodeId u, NodeId v, double capacity);
+
+  // --- accessors ---
+  int num_nodes() const { return static_cast<int>(out_edges_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const Edge& edge(EdgeId e) const { return edges_[static_cast<size_t>(e)]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::span<const EdgeId> out_edges(NodeId v) const {
+    return out_edges_[static_cast<size_t>(v)];
+  }
+  std::span<const EdgeId> in_edges(NodeId v) const {
+    return in_edges_[static_cast<size_t>(v)];
+  }
+  // First edge u -> v if present.
+  std::optional<EdgeId> find_edge(NodeId u, NodeId v) const;
+  bool valid_node(NodeId v) const { return v >= 0 && v < num_nodes(); }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name)  ; }
+
+  // Sum of all edge capacities.
+  double total_capacity() const;
+
+  // --- compacting mutations (return modified copies) ---
+  // Removes the edges whose ids are flagged in `remove` (size num_edges()).
+  DiGraph without_edges(const std::vector<bool>& remove) const;
+  DiGraph without_edge(EdgeId e) const;
+  // Removes node v and all incident edges; remaining nodes are renumbered
+  // (ids above v shift down by one).
+  DiGraph without_node(NodeId v) const;
+
+  bool operator==(const DiGraph& other) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+  std::string name_;
+};
+
+}  // namespace gddr::graph

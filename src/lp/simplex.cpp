@@ -1,0 +1,324 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gddr::lp {
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+int LinearProgram::add_variable(double objective_coeff) {
+  objective_.push_back(objective_coeff);
+  return num_variables() - 1;
+}
+
+void LinearProgram::add_constraint(
+    const std::vector<std::pair<int, double>>& terms, Relation rel,
+    double rhs) {
+  for (const auto& [idx, coeff] : terms) {
+    (void)coeff;
+    if (idx < 0 || idx >= num_variables()) {
+      throw std::out_of_range("add_constraint: unknown variable index");
+    }
+  }
+  rows_.push_back(Row{terms, rel, rhs});
+}
+
+namespace {
+
+// Dense tableau with an attached cost row; column layout is
+// [structural | slack/surplus | artificial | rhs].
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  // Gaussian pivot on (pr, pc): pivot row scaled to make the pivot 1, the
+  // pivot column eliminated from every other row including the cost row.
+  void pivot(std::size_t pr, std::size_t pc) {
+    double* prow = &data_[pr * cols_];
+    const double inv = 1.0 / prow[pc];
+    for (std::size_t c = 0; c < cols_; ++c) prow[c] *= inv;
+    prow[pc] = 1.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      double* row = &data_[r * cols_];
+      const double factor = row[pc];
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < cols_; ++c) row[c] -= factor * prow[c];
+      row[pc] = 0.0;
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+struct SimplexState {
+  Tableau tableau;
+  std::vector<int> basis;       // basis[r] = column basic in row r
+  std::size_t m;                // constraint rows
+  std::size_t total_cols;      // structural + slack + artificial
+  std::size_t rhs_col;
+  std::size_t cost_row;
+  std::size_t artificial_begin;  // first artificial column
+};
+
+enum class IterateResult { kOptimal, kUnbounded, kIterationLimit };
+
+// Runs simplex iterations on the current cost row.  Columns >= col_limit
+// are never allowed to enter the basis (used to freeze artificials in
+// phase 2).
+IterateResult iterate(SimplexState& s, std::size_t col_limit,
+                      std::size_t max_iterations, double pivot_tol) {
+  std::size_t stall = 0;
+  double last_objective = std::numeric_limits<double>::infinity();
+  bool bland = false;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // --- entering column ---
+    std::size_t entering = s.total_cols;  // sentinel: none
+    if (bland) {
+      for (std::size_t c = 0; c < col_limit; ++c) {
+        if (s.tableau.at(s.cost_row, c) < -pivot_tol) {
+          entering = c;
+          break;
+        }
+      }
+    } else {
+      double best = -pivot_tol;
+      for (std::size_t c = 0; c < col_limit; ++c) {
+        const double rc = s.tableau.at(s.cost_row, c);
+        if (rc < best) {
+          best = rc;
+          entering = c;
+        }
+      }
+    }
+    if (entering == s.total_cols) return IterateResult::kOptimal;
+
+    // --- ratio test ---
+    std::size_t leaving_row = s.m;  // sentinel: none
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < s.m; ++r) {
+      const double a = s.tableau.at(r, entering);
+      if (a > pivot_tol) {
+        const double ratio = s.tableau.at(r, s.rhs_col) / a;
+        if (ratio < best_ratio - 1e-12 ||
+            (ratio < best_ratio + 1e-12 &&
+             (leaving_row == s.m ||
+              s.basis[r] < s.basis[leaving_row]))) {
+          best_ratio = ratio;
+          leaving_row = r;
+        }
+      }
+    }
+    if (leaving_row == s.m) return IterateResult::kUnbounded;
+
+    s.tableau.pivot(leaving_row, entering);
+    s.basis[leaving_row] = static_cast<int>(entering);
+
+    // --- stall detection -> Bland's rule for guaranteed termination ---
+    const double objective = -s.tableau.at(s.cost_row, s.rhs_col);
+    if (objective < last_objective - 1e-12) {
+      stall = 0;
+      bland = false;
+    } else if (++stall > 64) {
+      bland = true;
+    }
+    last_objective = objective;
+  }
+  return IterateResult::kIterationLimit;
+}
+
+// Loads `costs` (indexed over all columns except rhs) into the cost row and
+// prices out the current basic variables so reduced costs are consistent.
+void install_costs(SimplexState& s, const std::vector<double>& costs) {
+  for (std::size_t c = 0; c < s.total_cols; ++c) {
+    s.tableau.at(s.cost_row, c) = costs[c];
+  }
+  s.tableau.at(s.cost_row, s.rhs_col) = 0.0;
+  for (std::size_t r = 0; r < s.m; ++r) {
+    const auto bc = static_cast<std::size_t>(s.basis[r]);
+    const double cost = costs[bc];
+    if (cost == 0.0) continue;
+    for (std::size_t c = 0; c <= s.rhs_col; ++c) {
+      s.tableau.at(s.cost_row, c) -= cost * s.tableau.at(r, c);
+    }
+  }
+}
+
+}  // namespace
+
+Solution LinearProgram::solve(const Options& options) const {
+  const auto n = static_cast<std::size_t>(num_variables());
+  const auto m = static_cast<std::size_t>(num_constraints());
+
+  // Count auxiliary columns.  RHS is normalised to >= 0 first (flip the
+  // relation when multiplying a row by -1).
+  std::vector<Relation> rel(m);
+  std::vector<double> rhs(m);
+  std::vector<std::vector<std::pair<int, double>>> terms(m);
+  std::size_t num_slack = 0;
+  std::size_t num_artificial = 0;
+  for (std::size_t r = 0; r < m; ++r) {
+    const Row& row = rows_[r];
+    rel[r] = row.rel;
+    rhs[r] = row.rhs;
+    terms[r] = row.terms;
+    if (rhs[r] < 0.0) {
+      rhs[r] = -rhs[r];
+      for (auto& [idx, coeff] : terms[r]) {
+        (void)idx;
+        coeff = -coeff;
+      }
+      if (rel[r] == Relation::kLe) {
+        rel[r] = Relation::kGe;
+      } else if (rel[r] == Relation::kGe) {
+        rel[r] = Relation::kLe;
+      }
+    }
+    switch (rel[r]) {
+      case Relation::kLe:
+        ++num_slack;
+        break;
+      case Relation::kGe:
+        ++num_slack;  // surplus
+        ++num_artificial;
+        break;
+      case Relation::kEq:
+        ++num_artificial;
+        break;
+    }
+  }
+
+  const std::size_t total_cols = n + num_slack + num_artificial;
+  const std::size_t rhs_col = total_cols;
+  SimplexState s{Tableau(m + 1, total_cols + 1),
+                 std::vector<int>(m, -1),
+                 m,
+                 total_cols,
+                 rhs_col,
+                 /*cost_row=*/m,
+                 /*artificial_begin=*/n + num_slack};
+
+  // Fill constraint rows.
+  std::size_t slack_cursor = n;
+  std::size_t artificial_cursor = n + num_slack;
+  for (std::size_t r = 0; r < m; ++r) {
+    for (const auto& [idx, coeff] : terms[r]) {
+      s.tableau.at(r, static_cast<std::size_t>(idx)) += coeff;
+    }
+    s.tableau.at(r, rhs_col) = rhs[r];
+    switch (rel[r]) {
+      case Relation::kLe:
+        s.tableau.at(r, slack_cursor) = 1.0;
+        s.basis[r] = static_cast<int>(slack_cursor);
+        ++slack_cursor;
+        break;
+      case Relation::kGe:
+        s.tableau.at(r, slack_cursor) = -1.0;
+        ++slack_cursor;
+        s.tableau.at(r, artificial_cursor) = 1.0;
+        s.basis[r] = static_cast<int>(artificial_cursor);
+        ++artificial_cursor;
+        break;
+      case Relation::kEq:
+        s.tableau.at(r, artificial_cursor) = 1.0;
+        s.basis[r] = static_cast<int>(artificial_cursor);
+        ++artificial_cursor;
+        break;
+    }
+  }
+
+  const std::size_t max_iters =
+      options.max_iterations > 0
+          ? options.max_iterations
+          : 200 * (m + total_cols) + 10000;
+
+  Solution solution;
+
+  // --- Phase 1: minimise the sum of artificials ---
+  if (num_artificial > 0) {
+    std::vector<double> phase1_costs(total_cols, 0.0);
+    for (std::size_t c = s.artificial_begin; c < total_cols; ++c) {
+      phase1_costs[c] = 1.0;
+    }
+    install_costs(s, phase1_costs);
+    const IterateResult r1 =
+        iterate(s, total_cols, max_iters, options.pivot_tolerance);
+    if (r1 == IterateResult::kIterationLimit) {
+      solution.status = SolveStatus::kIterationLimit;
+      return solution;
+    }
+    const double phase1_obj = -s.tableau.at(s.cost_row, rhs_col);
+    if (phase1_obj > options.feasibility_tolerance) {
+      solution.status = SolveStatus::kInfeasible;
+      return solution;
+    }
+    // Drive any artificial still basic (at value ~0) out of the basis if a
+    // usable pivot exists; otherwise the row is redundant and harmless.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (static_cast<std::size_t>(s.basis[r]) < s.artificial_begin) continue;
+      for (std::size_t c = 0; c < s.artificial_begin; ++c) {
+        if (std::abs(s.tableau.at(r, c)) > options.pivot_tolerance) {
+          s.tableau.pivot(r, c);
+          s.basis[r] = static_cast<int>(c);
+          break;
+        }
+      }
+    }
+  }
+
+  // --- Phase 2: minimise the real objective; artificials may not enter ---
+  std::vector<double> phase2_costs(total_cols, 0.0);
+  for (std::size_t c = 0; c < n; ++c) phase2_costs[c] = objective_[c];
+  install_costs(s, phase2_costs);
+  const IterateResult r2 = iterate(s, s.artificial_begin, max_iters,
+                                   options.pivot_tolerance);
+  if (r2 == IterateResult::kUnbounded) {
+    solution.status = SolveStatus::kUnbounded;
+    return solution;
+  }
+  if (r2 == IterateResult::kIterationLimit) {
+    solution.status = SolveStatus::kIterationLimit;
+    return solution;
+  }
+
+  solution.status = SolveStatus::kOptimal;
+  solution.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto bc = static_cast<std::size_t>(s.basis[r]);
+    if (bc < n) solution.x[bc] = s.tableau.at(r, rhs_col);
+  }
+  solution.objective = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    solution.objective += objective_[c] * solution.x[c];
+  }
+  return solution;
+}
+
+}  // namespace gddr::lp

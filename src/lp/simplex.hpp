@@ -1,0 +1,74 @@
+// Dense two-phase primal simplex linear-programming solver.
+//
+// The paper computes the optimal max-link-utilisation with Google
+// OR-Tools' LP solver (§V-A); this module is the from-scratch replacement.
+// It solves
+//
+//     minimise    c . x
+//     subject to  A x {<=, =, >=} b,    x >= 0
+//
+// via the textbook two-phase method on a dense tableau: phase 1 minimises
+// the sum of artificial variables to find a basic feasible solution, phase 2
+// optimises the real objective.  Dantzig pricing is used with an automatic
+// switch to Bland's rule when progress stalls, which guarantees
+// termination.  Problem sizes in this repository (destination-aggregated
+// multicommodity flow on Topology-Zoo-scale graphs) stay well inside what a
+// dense tableau handles comfortably.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gddr::lp {
+
+enum class Relation { kLe, kEq, kGe };
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  // Values of the original variables (empty unless kOptimal).
+  std::vector<double> x;
+};
+
+std::string to_string(SolveStatus status);
+
+class LinearProgram {
+ public:
+  // Adds a variable with the given objective coefficient (x_i >= 0
+  // implicitly); returns its index.
+  int add_variable(double objective_coeff);
+
+  int num_variables() const { return static_cast<int>(objective_.size()); }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+
+  // Adds the constraint  sum_j terms[j].second * x_{terms[j].first}  rel  rhs.
+  // Variable indices must already exist.  Duplicate indices in one
+  // constraint are summed.
+  void add_constraint(const std::vector<std::pair<int, double>>& terms,
+                      Relation rel, double rhs);
+
+  struct Options {
+    // 0 = choose automatically from problem size.
+    std::size_t max_iterations = 0;
+    double pivot_tolerance = 1e-9;
+    double feasibility_tolerance = 1e-7;
+  };
+
+  Solution solve(const Options& options) const;
+  Solution solve() const { return solve(Options{}); }
+
+ private:
+  struct Row {
+    std::vector<std::pair<int, double>> terms;
+    Relation rel;
+    double rhs;
+  };
+
+  std::vector<double> objective_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace gddr::lp

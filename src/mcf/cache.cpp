@@ -1,0 +1,91 @@
+#include "mcf/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "mcf/mean_util.hpp"
+#include "mcf/optimal.hpp"
+
+namespace gddr::mcf {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+void mix_double(std::uint64_t& h, double d) {
+  mix(h, std::bit_cast<std::uint64_t>(d));
+}
+
+}  // namespace
+
+std::uint64_t graph_fingerprint(const graph::DiGraph& g) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(g.num_nodes()));
+  for (const auto& e : g.edges()) {
+    mix(h, static_cast<std::uint64_t>(e.src));
+    mix(h, static_cast<std::uint64_t>(e.dst));
+    mix_double(h, e.capacity);
+  }
+  return h;
+}
+
+std::uint64_t demand_fingerprint(const traffic::DemandMatrix& dm) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(dm.num_nodes()));
+  for (double d : dm.raw()) mix_double(h, d);
+  return h;
+}
+
+std::uint64_t OptimalCache::key_for(const graph::DiGraph& g,
+                                    const traffic::DemandMatrix& dm) const {
+  std::uint64_t key = graph_fingerprint(g);
+  const std::uint64_t dk = demand_fingerprint(dm);
+  // Combine the two fingerprints order-sensitively.
+  key ^= dk + 0x9E3779B97F4A7C15ULL + (key << 6) + (key >> 2);
+  return key;
+}
+
+double OptimalCache::mean_util(const graph::DiGraph& g,
+                               const traffic::DemandMatrix& dm) {
+  const std::uint64_t key = key_for(g, dm);
+  if (const auto it = mean_cache_.find(key); it != mean_cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const double value = min_mean_utilisation(g, dm);
+  mean_cache_.emplace(key, value);
+  return value;
+}
+
+double OptimalCache::u_max(const graph::DiGraph& g,
+                           const traffic::DemandMatrix& dm) {
+  const std::uint64_t key = key_for(g, dm);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const OptimalResult result = solve_optimal(g, dm);
+  if (!result.feasible) {
+    throw std::runtime_error("OptimalCache: LP infeasible/unsolved");
+  }
+  cache_.emplace(key, result.u_max);
+  return result.u_max;
+}
+
+void OptimalCache::clear() {
+  cache_.clear();
+  mean_cache_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace gddr::mcf

@@ -1,0 +1,49 @@
+// Memoised optimal-congestion oracle.
+//
+// The paper notes training is CPU-bound on the LP step; since cyclical
+// demand sequences repeat a small base cycle of matrices, caching
+// U*_max by (graph, demand-matrix) content hash removes nearly all LP
+// solves after the first episode.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/digraph.hpp"
+#include "traffic/demand.hpp"
+
+namespace gddr::mcf {
+
+// FNV-1a content hash of a graph's structure and capacities.
+std::uint64_t graph_fingerprint(const graph::DiGraph& g);
+
+// FNV-1a content hash of a demand matrix.
+std::uint64_t demand_fingerprint(const traffic::DemandMatrix& dm);
+
+class OptimalCache {
+ public:
+  // Optimal U_max for (g, dm), computed on first use via solve_optimal.
+  // Throws std::runtime_error if the LP is not solvable (cannot happen for
+  // strongly connected graphs with finite demands).
+  double u_max(const graph::DiGraph& g, const traffic::DemandMatrix& dm);
+
+  // Optimal *mean* link utilisation for (g, dm) (see mcf/mean_util.hpp),
+  // memoised the same way.
+  double mean_util(const graph::DiGraph& g, const traffic::DemandMatrix& dm);
+
+  std::size_t size() const { return cache_.size() + mean_cache_.size(); }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  void clear();
+
+ private:
+  std::uint64_t key_for(const graph::DiGraph& g,
+                        const traffic::DemandMatrix& dm) const;
+
+  std::unordered_map<std::uint64_t, double> cache_;
+  std::unordered_map<std::uint64_t, double> mean_cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace gddr::mcf

@@ -1,0 +1,40 @@
+#include "mcf/mean_util.hpp"
+
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace gddr::mcf {
+
+double min_mean_utilisation(const graph::DiGraph& g,
+                            const traffic::DemandMatrix& dm) {
+  if (dm.num_nodes() != g.num_nodes()) {
+    throw std::invalid_argument("min_mean_utilisation: size mismatch");
+  }
+  if (g.num_edges() == 0) return 0.0;
+  std::vector<double> w(static_cast<size_t>(g.num_edges()));
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    w[static_cast<size_t>(e)] = 1.0 / g.edge(e).capacity;
+  }
+  // Each unit of demand s->t contributes dist_{1/c}(s,t) to the total
+  // utilisation sum; sum and divide by |E|.
+  double total = 0.0;
+  for (graph::NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (dm.out_sum(s) <= 0.0) continue;
+    const auto sp = graph::dijkstra(g, s, w);
+    for (graph::NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (s == t) continue;
+      const double d = dm.at(s, t);
+      if (d <= 0.0) continue;
+      const double dist = sp.dist[static_cast<size_t>(t)];
+      if (dist == graph::kInfDist) {
+        throw std::invalid_argument(
+            "min_mean_utilisation: demand pair unreachable");
+      }
+      total += d * dist;
+    }
+  }
+  return total / static_cast<double>(g.num_edges());
+}
+
+}  // namespace gddr::mcf

@@ -1,0 +1,154 @@
+#include "mcf/optimal.hpp"
+
+#include <stdexcept>
+
+#include "lp/simplex.hpp"
+
+namespace gddr::mcf {
+
+using graph::DiGraph;
+using graph::EdgeId;
+using graph::NodeId;
+using traffic::DemandMatrix;
+
+OptimalResult solve_optimal(const DiGraph& g, const DemandMatrix& dm) {
+  if (dm.num_nodes() != g.num_nodes()) {
+    throw std::invalid_argument("solve_optimal: demand/graph size mismatch");
+  }
+  const int n = g.num_nodes();
+  const int ne = g.num_edges();
+
+  // Destinations that actually receive traffic.
+  std::vector<NodeId> dests;
+  for (NodeId t = 0; t < n; ++t) {
+    if (dm.in_sum(t) > 0.0) dests.push_back(t);
+  }
+
+  OptimalResult result;
+  result.flow_by_dest.assign(static_cast<size_t>(n), {});
+  if (dests.empty()) {
+    result.feasible = true;
+    result.u_max = 0.0;
+    return result;
+  }
+
+  lp::LinearProgram prog;
+  const int u_var = prog.add_variable(1.0);  // minimise U_max
+  // x[t][e] laid out per destination block.
+  std::vector<int> block_start(static_cast<size_t>(n), -1);
+  for (NodeId t : dests) {
+    block_start[static_cast<size_t>(t)] = prog.num_variables();
+    for (EdgeId e = 0; e < ne; ++e) prog.add_variable(0.0);
+  }
+  auto xvar = [&](NodeId t, EdgeId e) {
+    return block_start[static_cast<size_t>(t)] + e;
+  };
+
+  // Conservation: net outflow of traffic-to-t at v equals D[v][t], v != t.
+  for (NodeId t : dests) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == t) continue;
+      std::vector<std::pair<int, double>> terms;
+      for (EdgeId e : g.out_edges(v)) terms.emplace_back(xvar(t, e), 1.0);
+      for (EdgeId e : g.in_edges(v)) terms.emplace_back(xvar(t, e), -1.0);
+      prog.add_constraint(terms, lp::Relation::kEq, dm.at(v, t));
+    }
+  }
+  // Capacity: total flow on e at most U * c(e).
+  for (EdgeId e = 0; e < ne; ++e) {
+    std::vector<std::pair<int, double>> terms;
+    terms.emplace_back(u_var, -g.edge(e).capacity);
+    for (NodeId t : dests) terms.emplace_back(xvar(t, e), 1.0);
+    prog.add_constraint(terms, lp::Relation::kLe, 0.0);
+  }
+
+  const lp::Solution sol = prog.solve();
+  if (sol.status != lp::SolveStatus::kOptimal) {
+    result.feasible = false;
+    return result;
+  }
+  result.feasible = true;
+  result.u_max = sol.x[static_cast<size_t>(u_var)];
+  for (NodeId t : dests) {
+    auto& row = result.flow_by_dest[static_cast<size_t>(t)];
+    row.resize(static_cast<size_t>(ne));
+    for (EdgeId e = 0; e < ne; ++e) {
+      row[static_cast<size_t>(e)] =
+          sol.x[static_cast<size_t>(xvar(t, e))];
+    }
+  }
+  return result;
+}
+
+double solve_optimal_per_commodity(const DiGraph& g, const DemandMatrix& dm) {
+  if (dm.num_nodes() != g.num_nodes()) {
+    throw std::invalid_argument("per-commodity: demand/graph size mismatch");
+  }
+  const int n = g.num_nodes();
+  const int ne = g.num_edges();
+
+  struct Commodity {
+    NodeId s;
+    NodeId t;
+    double d;
+  };
+  std::vector<Commodity> commodities;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s != t && dm.at(s, t) > 0.0) {
+        commodities.push_back({s, t, dm.at(s, t)});
+      }
+    }
+  }
+  if (commodities.empty()) return 0.0;
+
+  lp::LinearProgram prog;
+  const int u_var = prog.add_variable(1.0);
+  std::vector<int> block(commodities.size());
+  for (size_t i = 0; i < commodities.size(); ++i) {
+    block[i] = prog.num_variables();
+    for (EdgeId e = 0; e < ne; ++e) prog.add_variable(0.0);
+  }
+  auto fvar = [&](size_t i, EdgeId e) { return block[i] + e; };
+
+  for (size_t i = 0; i < commodities.size(); ++i) {
+    const auto& c = commodities[i];
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == c.t) continue;  // sink absorption implied
+      std::vector<std::pair<int, double>> terms;
+      for (EdgeId e : g.out_edges(v)) terms.emplace_back(fvar(i, e), 1.0);
+      for (EdgeId e : g.in_edges(v)) terms.emplace_back(fvar(i, e), -1.0);
+      const double rhs = (v == c.s) ? c.d : 0.0;
+      prog.add_constraint(terms, lp::Relation::kEq, rhs);
+    }
+  }
+  for (EdgeId e = 0; e < ne; ++e) {
+    std::vector<std::pair<int, double>> terms;
+    terms.emplace_back(u_var, -g.edge(e).capacity);
+    for (size_t i = 0; i < commodities.size(); ++i) {
+      terms.emplace_back(fvar(i, e), 1.0);
+    }
+    prog.add_constraint(terms, lp::Relation::kLe, 0.0);
+  }
+
+  const lp::Solution sol = prog.solve();
+  if (sol.status != lp::SolveStatus::kOptimal) {
+    throw std::runtime_error("per-commodity LP not optimal: " +
+                             lp::to_string(sol.status));
+  }
+  return sol.x[static_cast<size_t>(u_var)];
+}
+
+std::vector<double> edge_utilisation(const DiGraph& g,
+                                     const OptimalResult& result) {
+  std::vector<double> util(static_cast<size_t>(g.num_edges()), 0.0);
+  for (const auto& row : result.flow_by_dest) {
+    for (size_t e = 0; e < row.size(); ++e) util[e] += row[e];
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    util[static_cast<size_t>(e)] /= g.edge(e).capacity;
+  }
+  return util;
+}
+
+}  // namespace gddr::mcf

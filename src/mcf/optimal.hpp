@@ -1,0 +1,53 @@
+// Optimal multicommodity-flow congestion (paper §II-A, §V-A).
+//
+// The reward in the GDDR environment compares the agent's max link
+// utilisation against the optimum U*_max achievable by any splittable
+// routing of the demand matrix.  The paper computes U*_max with an LP on
+// top of Google OR-Tools; here the LP is built on src/lp's simplex.
+//
+// Two formulations are provided:
+//
+//  * solve_optimal: destination-aggregated.  For each destination t a flow
+//    variable x_t(e) carries *all* traffic destined to t on edge e; per-node
+//    conservation injects D[v][t] at every v != t.  This is exact for
+//    splittable min-max-utilisation MCF (commodities to the same sink can
+//    be merged without changing link totals, and any merged flow can be
+//    decomposed back per-source) and has |V||E| variables instead of
+//    |V|^2|E|.
+//
+//  * solve_optimal_per_commodity: the textbook per-(s,t) formulation from
+//    the paper's §II-A, exponentially larger; used in tests to validate the
+//    aggregated formulation.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "traffic/demand.hpp"
+
+namespace gddr::mcf {
+
+struct OptimalResult {
+  bool feasible = false;
+  // Optimal max link utilisation; may exceed 1 when demand exceeds what
+  // the network can carry without over-subscription.
+  double u_max = 0.0;
+  // flow_by_dest[t][e]: traffic destined to node t crossing edge e in the
+  // optimal solution.  Destinations with zero demand have empty rows.
+  std::vector<std::vector<double>> flow_by_dest;
+};
+
+// Destination-aggregated optimal congestion LP.
+OptimalResult solve_optimal(const graph::DiGraph& g,
+                            const traffic::DemandMatrix& dm);
+
+// Per-commodity formulation (paper §II-A); test/cross-check use only.
+// Returns the optimal U_max.
+double solve_optimal_per_commodity(const graph::DiGraph& g,
+                                   const traffic::DemandMatrix& dm);
+
+// Per-edge utilisation of the optimal solution (|E| entries).
+std::vector<double> edge_utilisation(const graph::DiGraph& g,
+                                     const OptimalResult& result);
+
+}  // namespace gddr::mcf

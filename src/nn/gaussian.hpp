@@ -1,0 +1,32 @@
+// Diagonal-Gaussian action distribution for continuous-control PPO.
+//
+// The policy networks output per-dimension means; a state-independent
+// learnable log-standard-deviation parameter provides exploration noise
+// (the stable-baselines PPO2 convention the paper trained with).
+#pragma once
+
+#include <vector>
+
+#include "nn/tape.hpp"
+#include "util/rng.hpp"
+
+namespace gddr::nn {
+
+// Samples a ~ N(mean, diag(exp(log_std))^2).  mean and log_std must have
+// the same length.
+std::vector<double> sample_diag_gaussian(std::span<const double> mean,
+                                         std::span<const double> log_std,
+                                         util::Rng& rng);
+
+// Log-density of `actions` (N x A constant) under N(mean, exp(log_std)),
+// where `mean` is an on-tape N x A Var and `log_std` an on-tape N x A Var
+// (broadcast the 1 x A parameter with Tape::broadcast_rows).  Returns an
+// N x 1 Var of per-row log-probabilities (summed over action dims).
+Tape::Var diag_gaussian_log_prob(Tape& tape, Tape::Var mean,
+                                 Tape::Var log_std, const Tensor& actions);
+
+// Mean (over batch rows) entropy of the distribution, a 1x1 Var:
+// H = sum_j (log sigma_j + 0.5 log(2 pi e)).
+Tape::Var diag_gaussian_entropy(Tape& tape, Tape::Var log_std);
+
+}  // namespace gddr::nn

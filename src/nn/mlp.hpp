@@ -1,0 +1,46 @@
+// Multilayer perceptron module (paper Fig. 4; also the phi update
+// functions inside every graph-network block, §VII-A).
+#pragma once
+
+#include <vector>
+
+#include "nn/tape.hpp"
+#include "util/rng.hpp"
+
+namespace gddr::nn {
+
+enum class Activation { kIdentity, kRelu, kTanh };
+
+struct MlpConfig {
+  std::vector<int> hidden{64, 64};
+  Activation hidden_activation = Activation::kTanh;
+  Activation output_activation = Activation::kIdentity;
+  // Final layer weights are multiplied by this after init; PPO policy
+  // heads conventionally use a small value (e.g. 0.01) so initial actions
+  // stay near zero.
+  double output_scale = 1.0;
+};
+
+class Mlp {
+ public:
+  // Xavier-uniform initialised MLP mapping R^{in} -> R^{out} per row.
+  Mlp(int in, int out, const MlpConfig& config, util::Rng& rng);
+
+  // Applies the network to every row of x (N x in -> N x out).
+  Tape::Var forward(Tape& tape, Tape::Var x);
+
+  std::vector<Parameter*> parameters();
+  std::size_t num_parameters() const;
+
+  int input_size() const { return in_; }
+  int output_size() const { return out_; }
+
+ private:
+  int in_;
+  int out_;
+  MlpConfig config_;
+  std::vector<Parameter> weights_;
+  std::vector<Parameter> biases_;
+};
+
+}  // namespace gddr::nn

@@ -1,0 +1,65 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gddr::nn {
+
+void Sgd::step(std::span<Parameter* const> params) {
+  for (Parameter* p : params) {
+    auto v = p->value.data();
+    const auto g = p->grad.data();
+    for (size_t i = 0; i < v.size(); ++i) {
+      v[i] -= static_cast<float>(lr_) * g[i];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  if (lr <= 0.0) throw std::invalid_argument("Adam: lr <= 0");
+}
+
+void Adam::step(std::span<Parameter* const> params) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (Parameter* p : params) {
+    auto [it, inserted] = slots_.try_emplace(
+        p, Slot{Tensor::zeros_like(p->value), Tensor::zeros_like(p->value)});
+    Slot& slot = it->second;
+    auto v = p->value.data();
+    const auto g = p->grad.data();
+    auto m1 = slot.m.data();
+    auto m2 = slot.v.data();
+    for (size_t i = 0; i < v.size(); ++i) {
+      m1[i] = static_cast<float>(beta1_ * m1[i] + (1.0 - beta1_) * g[i]);
+      m2[i] = static_cast<float>(beta2_ * m2[i] +
+                                 (1.0 - beta2_) * g[i] * g[i]);
+      const double mhat = m1[i] / bc1;
+      const double vhat = m2[i] / bc2;
+      v[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+void zero_grads(std::span<Parameter* const> params) {
+  for (Parameter* p : params) p->zero_grad();
+}
+
+double global_grad_norm(std::span<Parameter* const> params) {
+  double sum = 0.0;
+  for (const Parameter* p : params) sum += p->grad.squared_norm();
+  return std::sqrt(sum);
+}
+
+double clip_grad_norm(std::span<Parameter* const> params, double max_norm) {
+  const double norm = global_grad_norm(params);
+  if (norm > max_norm && norm > 0.0) {
+    const float factor = static_cast<float>(max_norm / norm);
+    for (Parameter* p : params) p->grad.scale_in_place(factor);
+  }
+  return norm;
+}
+
+}  // namespace gddr::nn

@@ -1,0 +1,59 @@
+// Gradient-descent optimisers over Parameter sets.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace gddr::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // Applies one update using each parameter's accumulated gradient.
+  virtual void step(std::span<Parameter* const> params) = 0;
+};
+
+// Plain SGD (used in tests as a reference).
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr) : lr_(lr) {}
+  void step(std::span<Parameter* const> params) override;
+
+ private:
+  double lr_;
+};
+
+// Adam (Kingma & Ba); the optimiser behind stable-baselines PPO2.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+  void step(std::span<Parameter* const> params) override;
+
+ private:
+  struct Slot {
+    Tensor m;
+    Tensor v;
+  };
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  long t_ = 0;
+  std::unordered_map<Parameter*, Slot> slots_;
+};
+
+// Zeroes every parameter's gradient.
+void zero_grads(std::span<Parameter* const> params);
+
+// Global L2 norm of all gradients.
+double global_grad_norm(std::span<Parameter* const> params);
+
+// Scales gradients so the global norm is at most max_norm; returns the
+// pre-clip norm.
+double clip_grad_norm(std::span<Parameter* const> params, double max_norm);
+
+}  // namespace gddr::nn

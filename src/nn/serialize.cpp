@@ -1,0 +1,82 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace gddr::nn {
+namespace {
+
+constexpr char kMagic[8] = {'G', 'D', 'D', 'R', 'P', 'A', 'R', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value;
+  is.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!is) throw std::runtime_error("load_parameters: truncated file");
+  return value;
+}
+
+}  // namespace
+
+void save_parameters(const std::string& path,
+                     std::span<Parameter* const> params) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("save_parameters: cannot open " + path);
+  os.write(kMagic, sizeof kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(params.size()));
+  for (const Parameter* p : params) {
+    write_pod(os, static_cast<std::uint32_t>(p->value.rows()));
+    write_pod(os, static_cast<std::uint32_t>(p->value.cols()));
+    const auto data = p->value.data();
+    os.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("save_parameters: write failed");
+}
+
+void load_parameters(const std::string& path,
+                     std::span<Parameter* const> params) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_parameters: cannot open " + path);
+  char magic[8];
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("load_parameters: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw std::runtime_error("load_parameters: unsupported version");
+  }
+  const auto count = read_pod<std::uint64_t>(is);
+  if (count != params.size()) {
+    throw std::runtime_error(
+        "load_parameters: file has " + std::to_string(count) +
+        " parameters, destination expects " + std::to_string(params.size()));
+  }
+  for (Parameter* p : params) {
+    const auto rows = read_pod<std::uint32_t>(is);
+    const auto cols = read_pod<std::uint32_t>(is);
+    if (rows != static_cast<std::uint32_t>(p->value.rows()) ||
+        cols != static_cast<std::uint32_t>(p->value.cols())) {
+      throw std::runtime_error("load_parameters: shape mismatch (file " +
+                               std::to_string(rows) + "x" +
+                               std::to_string(cols) + ", destination " +
+                               p->value.shape_str() + ")");
+    }
+    auto data = p->value.data();
+    is.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!is) throw std::runtime_error("load_parameters: truncated data");
+  }
+}
+
+}  // namespace gddr::nn

@@ -1,0 +1,28 @@
+// Parameter (de)serialisation: save a trained policy to disk and load it
+// back into a freshly constructed policy of the same architecture.
+//
+// Format (little-endian binary): magic "GDDRPARM", u32 version, u64
+// parameter count, then per parameter {u32 rows, u32 cols, f32 data...}.
+// Loading validates every shape against the destination parameters, so a
+// mismatched architecture fails loudly instead of silently corrupting.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "nn/tensor.hpp"
+
+namespace gddr::nn {
+
+// Writes every parameter's current values.  Throws std::runtime_error on
+// I/O failure.
+void save_parameters(const std::string& path,
+                     std::span<Parameter* const> params);
+
+// Reads values saved by save_parameters into `params`.  Throws
+// std::runtime_error on I/O failure, format mismatch, wrong parameter
+// count or any shape mismatch.
+void load_parameters(const std::string& path,
+                     std::span<Parameter* const> params);
+
+}  // namespace gddr::nn

@@ -1,0 +1,640 @@
+#include "nn/tape.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace gddr::nn {
+
+void Tape::check_var(Var v, const char* op) const {
+  if (!v.valid() || static_cast<size_t>(v.id) >= nodes_.size()) {
+    throw std::invalid_argument(std::string(op) + ": invalid Var");
+  }
+}
+
+void Tape::check_same_shape(Var a, Var b, const char* op) const {
+  check_var(a, op);
+  check_var(b, op);
+  if (!node(a).value.same_shape(node(b).value)) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                node(a).value.shape_str() + " vs " +
+                                node(b).value.shape_str());
+  }
+}
+
+Tape::Var Tape::push(Tensor value, std::function<void(Tape&, int)> backward_fn) {
+  Node n;
+  n.value = std::move(value);
+  n.grad = Tensor::zeros_like(n.value);
+  n.backward_fn = std::move(backward_fn);
+  nodes_.push_back(std::move(n));
+  return Var{static_cast<int>(nodes_.size()) - 1};
+}
+
+Tape::Var Tape::constant(Tensor value) { return push(std::move(value), {}); }
+
+Tape::Var Tape::leaf(Parameter& p) {
+  Node n;
+  n.value = p.value;
+  n.grad = Tensor::zeros_like(n.value);
+  n.parameter = &p;
+  nodes_.push_back(std::move(n));
+  return Var{static_cast<int>(nodes_.size()) - 1};
+}
+
+// ---------- binary elementwise ----------
+
+Tape::Var Tape::add(Var a, Var b) {
+  check_same_shape(a, b, "add");
+  Tensor out = node(a).value;
+  out.add_in_place(node(b).value);
+  const int ia = a.id;
+  const int ib = b.id;
+  return push(std::move(out), [ia, ib](Tape& t, int self) {
+    t.grad_of(ia).add_in_place(t.grad_of(self));
+    t.grad_of(ib).add_in_place(t.grad_of(self));
+  });
+}
+
+Tape::Var Tape::sub(Var a, Var b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = node(a).value;
+  const auto bd = node(b).value.data();
+  auto od = out.data();
+  for (size_t i = 0; i < od.size(); ++i) od[i] -= bd[i];
+  const int ia = a.id;
+  const int ib = b.id;
+  return push(std::move(out), [ia, ib](Tape& t, int self) {
+    const auto g = t.grad_of(self).data();
+    auto ga = t.grad_of(ia).data();
+    auto gb = t.grad_of(ib).data();
+    for (size_t i = 0; i < g.size(); ++i) {
+      ga[i] += g[i];
+      gb[i] -= g[i];
+    }
+  });
+}
+
+Tape::Var Tape::mul(Var a, Var b) {
+  check_same_shape(a, b, "mul");
+  Tensor out = node(a).value;
+  const auto bd = node(b).value.data();
+  auto od = out.data();
+  for (size_t i = 0; i < od.size(); ++i) od[i] *= bd[i];
+  const int ia = a.id;
+  const int ib = b.id;
+  return push(std::move(out), [ia, ib](Tape& t, int self) {
+    const auto g = t.grad_of(self).data();
+    const auto av = t.value_of(ia).data();
+    const auto bv = t.value_of(ib).data();
+    auto ga = t.grad_of(ia).data();
+    auto gb = t.grad_of(ib).data();
+    for (size_t i = 0; i < g.size(); ++i) {
+      ga[i] += g[i] * bv[i];
+      gb[i] += g[i] * av[i];
+    }
+  });
+}
+
+Tape::Var Tape::div(Var a, Var b) {
+  check_same_shape(a, b, "div");
+  Tensor out = node(a).value;
+  const auto bd = node(b).value.data();
+  auto od = out.data();
+  for (size_t i = 0; i < od.size(); ++i) od[i] /= bd[i];
+  const int ia = a.id;
+  const int ib = b.id;
+  return push(std::move(out), [ia, ib](Tape& t, int self) {
+    const auto g = t.grad_of(self).data();
+    const auto av = t.value_of(ia).data();
+    const auto bv = t.value_of(ib).data();
+    auto ga = t.grad_of(ia).data();
+    auto gb = t.grad_of(ib).data();
+    for (size_t i = 0; i < g.size(); ++i) {
+      ga[i] += g[i] / bv[i];
+      gb[i] -= g[i] * av[i] / (bv[i] * bv[i]);
+    }
+  });
+}
+
+Tape::Var Tape::minimum(Var a, Var b) {
+  check_same_shape(a, b, "minimum");
+  Tensor out = node(a).value;
+  const auto bd = node(b).value.data();
+  auto od = out.data();
+  for (size_t i = 0; i < od.size(); ++i) od[i] = std::min(od[i], bd[i]);
+  const int ia = a.id;
+  const int ib = b.id;
+  return push(std::move(out), [ia, ib](Tape& t, int self) {
+    const auto g = t.grad_of(self).data();
+    const auto av = t.value_of(ia).data();
+    const auto bv = t.value_of(ib).data();
+    auto ga = t.grad_of(ia).data();
+    auto gb = t.grad_of(ib).data();
+    for (size_t i = 0; i < g.size(); ++i) {
+      if (av[i] <= bv[i]) {
+        ga[i] += g[i];
+      } else {
+        gb[i] += g[i];
+      }
+    }
+  });
+}
+
+Tape::Var Tape::maximum(Var a, Var b) {
+  check_same_shape(a, b, "maximum");
+  Tensor out = node(a).value;
+  const auto bd = node(b).value.data();
+  auto od = out.data();
+  for (size_t i = 0; i < od.size(); ++i) od[i] = std::max(od[i], bd[i]);
+  const int ia = a.id;
+  const int ib = b.id;
+  return push(std::move(out), [ia, ib](Tape& t, int self) {
+    const auto g = t.grad_of(self).data();
+    const auto av = t.value_of(ia).data();
+    const auto bv = t.value_of(ib).data();
+    auto ga = t.grad_of(ia).data();
+    auto gb = t.grad_of(ib).data();
+    for (size_t i = 0; i < g.size(); ++i) {
+      if (av[i] >= bv[i]) {
+        ga[i] += g[i];
+      } else {
+        gb[i] += g[i];
+      }
+    }
+  });
+}
+
+// ---------- linear algebra / shaping ----------
+
+Tape::Var Tape::matmul(Var a, Var b) {
+  check_var(a, "matmul");
+  check_var(b, "matmul");
+  const Tensor& av = node(a).value;
+  const Tensor& bv = node(b).value;
+  if (av.cols() != bv.rows()) {
+    throw std::invalid_argument("matmul: inner dims " + av.shape_str() +
+                                " x " + bv.shape_str());
+  }
+  Tensor out(av.rows(), bv.cols());
+  // ikj loop order for row-major locality.
+  for (int i = 0; i < av.rows(); ++i) {
+    for (int k = 0; k < av.cols(); ++k) {
+      const float aik = av.at(i, k);
+      if (aik == 0.0F) continue;
+      for (int j = 0; j < bv.cols(); ++j) {
+        out.at(i, j) += aik * bv.at(k, j);
+      }
+    }
+  }
+  const int ia = a.id;
+  const int ib = b.id;
+  return push(std::move(out), [ia, ib](Tape& t, int self) {
+    const Tensor& g = t.grad_of(self);
+    const Tensor& A = t.value_of(ia);
+    const Tensor& B = t.value_of(ib);
+    Tensor& gA = t.grad_of(ia);
+    Tensor& gB = t.grad_of(ib);
+    // gA += G * B^T
+    for (int i = 0; i < g.rows(); ++i) {
+      for (int j = 0; j < g.cols(); ++j) {
+        const float gij = g.at(i, j);
+        if (gij == 0.0F) continue;
+        for (int k = 0; k < B.rows(); ++k) {
+          gA.at(i, k) += gij * B.at(k, j);
+        }
+      }
+    }
+    // gB += A^T * G
+    for (int i = 0; i < A.rows(); ++i) {
+      for (int k = 0; k < A.cols(); ++k) {
+        const float aik = A.at(i, k);
+        if (aik == 0.0F) continue;
+        for (int j = 0; j < g.cols(); ++j) {
+          gB.at(k, j) += aik * g.at(i, j);
+        }
+      }
+    }
+  });
+}
+
+Tape::Var Tape::add_bias(Var m, Var bias) {
+  check_var(m, "add_bias");
+  check_var(bias, "add_bias");
+  const Tensor& mv = node(m).value;
+  const Tensor& bv = node(bias).value;
+  if (bv.rows() != 1 || bv.cols() != mv.cols()) {
+    throw std::invalid_argument("add_bias: bias " + bv.shape_str() +
+                                " for matrix " + mv.shape_str());
+  }
+  Tensor out = mv;
+  for (int i = 0; i < out.rows(); ++i) {
+    for (int j = 0; j < out.cols(); ++j) out.at(i, j) += bv.at(0, j);
+  }
+  const int im = m.id;
+  const int ib = bias.id;
+  return push(std::move(out), [im, ib](Tape& t, int self) {
+    const Tensor& g = t.grad_of(self);
+    t.grad_of(im).add_in_place(g);
+    Tensor& gb = t.grad_of(ib);
+    for (int i = 0; i < g.rows(); ++i) {
+      for (int j = 0; j < g.cols(); ++j) gb.at(0, j) += g.at(i, j);
+    }
+  });
+}
+
+Tape::Var Tape::broadcast_rows(Var rowvec, int n) {
+  check_var(rowvec, "broadcast_rows");
+  const Tensor& rv = node(rowvec).value;
+  if (rv.rows() != 1) {
+    throw std::invalid_argument("broadcast_rows: input must be 1xC, got " +
+                                rv.shape_str());
+  }
+  if (n <= 0) throw std::invalid_argument("broadcast_rows: n <= 0");
+  Tensor out(n, rv.cols());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < rv.cols(); ++j) out.at(i, j) = rv.at(0, j);
+  }
+  const int ir = rowvec.id;
+  return push(std::move(out), [ir](Tape& t, int self) {
+    const Tensor& g = t.grad_of(self);
+    Tensor& gr = t.grad_of(ir);
+    for (int i = 0; i < g.rows(); ++i) {
+      for (int j = 0; j < g.cols(); ++j) gr.at(0, j) += g.at(i, j);
+    }
+  });
+}
+
+Tape::Var Tape::broadcast_cols(Var colvec, int n) {
+  check_var(colvec, "broadcast_cols");
+  const Tensor& cv = node(colvec).value;
+  if (cv.cols() != 1) {
+    throw std::invalid_argument("broadcast_cols: input must be Nx1, got " +
+                                cv.shape_str());
+  }
+  if (n <= 0) throw std::invalid_argument("broadcast_cols: n <= 0");
+  Tensor out(cv.rows(), n);
+  for (int i = 0; i < cv.rows(); ++i) {
+    for (int j = 0; j < n; ++j) out.at(i, j) = cv.at(i, 0);
+  }
+  const int ic = colvec.id;
+  return push(std::move(out), [ic](Tape& t, int self) {
+    const Tensor& g = t.grad_of(self);
+    Tensor& gc = t.grad_of(ic);
+    for (int i = 0; i < g.rows(); ++i) {
+      for (int j = 0; j < g.cols(); ++j) gc.at(i, 0) += g.at(i, j);
+    }
+  });
+}
+
+Tape::Var Tape::reshape(Var x, int rows, int cols) {
+  check_var(x, "reshape");
+  const Tensor& xv = node(x).value;
+  if (rows < 0 || cols < 0 ||
+      static_cast<size_t>(rows) * static_cast<size_t>(cols) != xv.size()) {
+    throw std::invalid_argument("reshape: element count mismatch for " +
+                                xv.shape_str());
+  }
+  Tensor out(rows, cols);
+  const auto src = xv.data();
+  auto dst = out.data();
+  for (size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+  const int ix = x.id;
+  return push(std::move(out), [ix](Tape& t, int self) {
+    const auto g = t.grad_of(self).data();
+    auto gx = t.grad_of(ix).data();
+    for (size_t i = 0; i < g.size(); ++i) gx[i] += g[i];
+  });
+}
+
+Tape::Var Tape::concat_cols(Var a, Var b) {
+  check_var(a, "concat_cols");
+  check_var(b, "concat_cols");
+  const Tensor& av = node(a).value;
+  const Tensor& bv = node(b).value;
+  if (av.rows() != bv.rows()) {
+    throw std::invalid_argument("concat_cols: row mismatch " +
+                                av.shape_str() + " vs " + bv.shape_str());
+  }
+  Tensor out(av.rows(), av.cols() + bv.cols());
+  for (int i = 0; i < av.rows(); ++i) {
+    for (int j = 0; j < av.cols(); ++j) out.at(i, j) = av.at(i, j);
+    for (int j = 0; j < bv.cols(); ++j) {
+      out.at(i, av.cols() + j) = bv.at(i, j);
+    }
+  }
+  const int ia = a.id;
+  const int ib = b.id;
+  const int ac = av.cols();
+  return push(std::move(out), [ia, ib, ac](Tape& t, int self) {
+    const Tensor& g = t.grad_of(self);
+    Tensor& ga = t.grad_of(ia);
+    Tensor& gb = t.grad_of(ib);
+    for (int i = 0; i < g.rows(); ++i) {
+      for (int j = 0; j < ga.cols(); ++j) ga.at(i, j) += g.at(i, j);
+      for (int j = 0; j < gb.cols(); ++j) gb.at(i, j) += g.at(i, ac + j);
+    }
+  });
+}
+
+Tape::Var Tape::slice_cols(Var m, int start, int len) {
+  check_var(m, "slice_cols");
+  const Tensor& mv = node(m).value;
+  if (start < 0 || len <= 0 || start + len > mv.cols()) {
+    throw std::invalid_argument("slice_cols: range [" + std::to_string(start) +
+                                ", +" + std::to_string(len) + ") of " +
+                                mv.shape_str());
+  }
+  Tensor out(mv.rows(), len);
+  for (int i = 0; i < mv.rows(); ++i) {
+    for (int j = 0; j < len; ++j) out.at(i, j) = mv.at(i, start + j);
+  }
+  const int im = m.id;
+  return push(std::move(out), [im, start, len](Tape& t, int self) {
+    const Tensor& g = t.grad_of(self);
+    Tensor& gm = t.grad_of(im);
+    for (int i = 0; i < g.rows(); ++i) {
+      for (int j = 0; j < len; ++j) gm.at(i, start + j) += g.at(i, j);
+    }
+  });
+}
+
+Tape::Var Tape::gather_rows(Var m, std::vector<int> indices) {
+  check_var(m, "gather_rows");
+  const Tensor& mv = node(m).value;
+  for (int idx : indices) {
+    if (idx < 0 || idx >= mv.rows()) {
+      throw std::invalid_argument("gather_rows: index out of range");
+    }
+  }
+  Tensor out(static_cast<int>(indices.size()), mv.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    for (int j = 0; j < mv.cols(); ++j) {
+      out.at(static_cast<int>(i), j) = mv.at(indices[i], j);
+    }
+  }
+  const int im = m.id;
+  return push(std::move(out),
+              [im, indices = std::move(indices)](Tape& t, int self) {
+                const Tensor& g = t.grad_of(self);
+                Tensor& gm = t.grad_of(im);
+                for (size_t i = 0; i < indices.size(); ++i) {
+                  for (int j = 0; j < g.cols(); ++j) {
+                    gm.at(indices[i], j) += g.at(static_cast<int>(i), j);
+                  }
+                }
+              });
+}
+
+Tape::Var Tape::segment_sum(Var m, std::vector<int> segments,
+                            int num_segments) {
+  check_var(m, "segment_sum");
+  const Tensor& mv = node(m).value;
+  if (segments.size() != static_cast<size_t>(mv.rows())) {
+    throw std::invalid_argument("segment_sum: segment count != rows");
+  }
+  for (int s : segments) {
+    if (s < 0 || s >= num_segments) {
+      throw std::invalid_argument("segment_sum: segment id out of range");
+    }
+  }
+  Tensor out(num_segments, mv.cols());
+  for (size_t i = 0; i < segments.size(); ++i) {
+    for (int j = 0; j < mv.cols(); ++j) {
+      out.at(segments[i], j) += mv.at(static_cast<int>(i), j);
+    }
+  }
+  const int im = m.id;
+  return push(std::move(out),
+              [im, segments = std::move(segments)](Tape& t, int self) {
+                const Tensor& g = t.grad_of(self);
+                Tensor& gm = t.grad_of(im);
+                for (size_t i = 0; i < segments.size(); ++i) {
+                  for (int j = 0; j < g.cols(); ++j) {
+                    gm.at(static_cast<int>(i), j) += g.at(segments[i], j);
+                  }
+                }
+              });
+}
+
+// ---------- unary ----------
+
+namespace {
+
+template <typename Fwd>
+Tensor apply_unary(const Tensor& x, Fwd fwd) {
+  Tensor out = x;
+  for (float& v : out.data()) v = fwd(v);
+  return out;
+}
+
+}  // namespace
+
+Tape::Var Tape::relu(Var x) {
+  check_var(x, "relu");
+  Tensor out = apply_unary(node(x).value,
+                           [](float v) { return v > 0.0F ? v : 0.0F; });
+  const int ix = x.id;
+  return push(std::move(out), [ix](Tape& t, int self) {
+    const auto g = t.grad_of(self).data();
+    const auto xv = t.value_of(ix).data();
+    auto gx = t.grad_of(ix).data();
+    for (size_t i = 0; i < g.size(); ++i) {
+      if (xv[i] > 0.0F) gx[i] += g[i];
+    }
+  });
+}
+
+Tape::Var Tape::tanh(Var x) {
+  check_var(x, "tanh");
+  Tensor out = apply_unary(node(x).value,
+                           [](float v) { return std::tanh(v); });
+  const int ix = x.id;
+  return push(std::move(out), [ix](Tape& t, int self) {
+    const auto g = t.grad_of(self).data();
+    const auto y = t.value_of(self).data();
+    auto gx = t.grad_of(ix).data();
+    for (size_t i = 0; i < g.size(); ++i) {
+      gx[i] += g[i] * (1.0F - y[i] * y[i]);
+    }
+  });
+}
+
+Tape::Var Tape::sigmoid(Var x) {
+  check_var(x, "sigmoid");
+  Tensor out = apply_unary(node(x).value, [](float v) {
+    return 1.0F / (1.0F + std::exp(-v));
+  });
+  const int ix = x.id;
+  return push(std::move(out), [ix](Tape& t, int self) {
+    const auto g = t.grad_of(self).data();
+    const auto y = t.value_of(self).data();
+    auto gx = t.grad_of(ix).data();
+    for (size_t i = 0; i < g.size(); ++i) {
+      gx[i] += g[i] * y[i] * (1.0F - y[i]);
+    }
+  });
+}
+
+Tape::Var Tape::exp(Var x) {
+  check_var(x, "exp");
+  Tensor out = apply_unary(node(x).value,
+                           [](float v) { return std::exp(v); });
+  const int ix = x.id;
+  return push(std::move(out), [ix](Tape& t, int self) {
+    const auto g = t.grad_of(self).data();
+    const auto y = t.value_of(self).data();
+    auto gx = t.grad_of(ix).data();
+    for (size_t i = 0; i < g.size(); ++i) gx[i] += g[i] * y[i];
+  });
+}
+
+Tape::Var Tape::log(Var x) {
+  check_var(x, "log");
+  Tensor out = apply_unary(node(x).value,
+                           [](float v) { return std::log(v); });
+  const int ix = x.id;
+  return push(std::move(out), [ix](Tape& t, int self) {
+    const auto g = t.grad_of(self).data();
+    const auto xv = t.value_of(ix).data();
+    auto gx = t.grad_of(ix).data();
+    for (size_t i = 0; i < g.size(); ++i) gx[i] += g[i] / xv[i];
+  });
+}
+
+Tape::Var Tape::square(Var x) {
+  check_var(x, "square");
+  Tensor out = apply_unary(node(x).value, [](float v) { return v * v; });
+  const int ix = x.id;
+  return push(std::move(out), [ix](Tape& t, int self) {
+    const auto g = t.grad_of(self).data();
+    const auto xv = t.value_of(ix).data();
+    auto gx = t.grad_of(ix).data();
+    for (size_t i = 0; i < g.size(); ++i) gx[i] += 2.0F * g[i] * xv[i];
+  });
+}
+
+Tape::Var Tape::neg(Var x) { return scale(x, -1.0F); }
+
+Tape::Var Tape::scale(Var x, float k) {
+  check_var(x, "scale");
+  Tensor out = apply_unary(node(x).value, [k](float v) { return k * v; });
+  const int ix = x.id;
+  return push(std::move(out), [ix, k](Tape& t, int self) {
+    const auto g = t.grad_of(self).data();
+    auto gx = t.grad_of(ix).data();
+    for (size_t i = 0; i < g.size(); ++i) gx[i] += k * g[i];
+  });
+}
+
+Tape::Var Tape::add_scalar(Var x, float k) {
+  check_var(x, "add_scalar");
+  Tensor out = apply_unary(node(x).value, [k](float v) { return v + k; });
+  const int ix = x.id;
+  return push(std::move(out), [ix](Tape& t, int self) {
+    t.grad_of(ix).add_in_place(t.grad_of(self));
+  });
+}
+
+Tape::Var Tape::clip(Var x, float lo, float hi) {
+  check_var(x, "clip");
+  if (!(lo < hi)) throw std::invalid_argument("clip: lo >= hi");
+  Tensor out = apply_unary(node(x).value, [lo, hi](float v) {
+    return std::min(hi, std::max(lo, v));
+  });
+  const int ix = x.id;
+  return push(std::move(out), [ix, lo, hi](Tape& t, int self) {
+    const auto g = t.grad_of(self).data();
+    const auto xv = t.value_of(ix).data();
+    auto gx = t.grad_of(ix).data();
+    for (size_t i = 0; i < g.size(); ++i) {
+      if (xv[i] > lo && xv[i] < hi) gx[i] += g[i];
+    }
+  });
+}
+
+// ---------- reductions ----------
+
+Tape::Var Tape::sum_all(Var x) {
+  check_var(x, "sum_all");
+  double total = 0.0;
+  for (float v : node(x).value.data()) total += v;
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(total);
+  const int ix = x.id;
+  return push(std::move(out), [ix](Tape& t, int self) {
+    const float g = t.grad_of(self).at(0, 0);
+    for (float& v : t.grad_of(ix).data()) v += g;
+  });
+}
+
+Tape::Var Tape::mean_all(Var x) {
+  check_var(x, "mean_all");
+  const auto count = static_cast<float>(node(x).value.size());
+  if (count == 0.0F) throw std::invalid_argument("mean_all: empty tensor");
+  return scale(sum_all(x), 1.0F / count);
+}
+
+Tape::Var Tape::sum_rows(Var x) {
+  check_var(x, "sum_rows");
+  const Tensor& xv = node(x).value;
+  Tensor out(1, xv.cols());
+  for (int i = 0; i < xv.rows(); ++i) {
+    for (int j = 0; j < xv.cols(); ++j) out.at(0, j) += xv.at(i, j);
+  }
+  const int ix = x.id;
+  return push(std::move(out), [ix](Tape& t, int self) {
+    const Tensor& g = t.grad_of(self);
+    Tensor& gx = t.grad_of(ix);
+    for (int i = 0; i < gx.rows(); ++i) {
+      for (int j = 0; j < gx.cols(); ++j) gx.at(i, j) += g.at(0, j);
+    }
+  });
+}
+
+Tape::Var Tape::sum_cols(Var x) {
+  check_var(x, "sum_cols");
+  const Tensor& xv = node(x).value;
+  Tensor out(xv.rows(), 1);
+  for (int i = 0; i < xv.rows(); ++i) {
+    for (int j = 0; j < xv.cols(); ++j) out.at(i, 0) += xv.at(i, j);
+  }
+  const int ix = x.id;
+  return push(std::move(out), [ix](Tape& t, int self) {
+    const Tensor& g = t.grad_of(self);
+    Tensor& gx = t.grad_of(ix);
+    for (int i = 0; i < gx.rows(); ++i) {
+      for (int j = 0; j < gx.cols(); ++j) gx.at(i, j) += g.at(i, 0);
+    }
+  });
+}
+
+// ---------- execution ----------
+
+const Tensor& Tape::value(Var v) const {
+  check_var(v, "value");
+  return node(v).value;
+}
+
+const Tensor& Tape::grad(Var v) const {
+  check_var(v, "grad");
+  return node(v).grad;
+}
+
+void Tape::backward(Var loss) {
+  check_var(loss, "backward");
+  const Tensor& lv = node(loss).value;
+  if (lv.rows() != 1 || lv.cols() != 1) {
+    throw std::invalid_argument("backward: loss must be 1x1, got " +
+                                lv.shape_str());
+  }
+  for (auto& n : nodes_) n.grad.fill(0.0F);
+  node(loss).grad.at(0, 0) = 1.0F;
+  for (int i = loss.id; i >= 0; --i) {
+    Node& n = nodes_[static_cast<size_t>(i)];
+    if (n.backward_fn) n.backward_fn(*this, i);
+    if (n.parameter != nullptr) n.parameter->grad.add_in_place(n.grad);
+  }
+}
+
+}  // namespace gddr::nn

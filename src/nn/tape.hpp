@@ -1,0 +1,119 @@
+// Reverse-mode automatic differentiation on a tape.
+//
+// The paper's policies are trained with TensorFlow; this tape is the
+// equivalent substrate.  A Tape records each primitive operation applied
+// to Vars (handles to tape nodes); backward() replays the tape in reverse,
+// accumulating gradients.  Parameter leaves accumulate their gradient into
+// the owning Parameter so optimisers can step them.
+//
+// The op set is exactly what the MLP policy, the Battaglia graph-network
+// block (gather / segment-sum / concat / broadcast) and the PPO loss
+// (elementwise arithmetic, clip, min, reductions) require.
+//
+// Shapes are validated eagerly; a mismatch throws std::invalid_argument
+// with both shapes in the message.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace gddr::nn {
+
+class Tape {
+ public:
+  struct Var {
+    int id = -1;
+    bool valid() const { return id >= 0; }
+  };
+
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // --- leaves ---
+  Var constant(Tensor value);
+  // Gradient flows into `p.grad` on backward(); `p` must outlive the tape.
+  Var leaf(Parameter& p);
+
+  // --- binary elementwise (same shape) ---
+  Var add(Var a, Var b);
+  Var sub(Var a, Var b);
+  Var mul(Var a, Var b);
+  Var div(Var a, Var b);
+  Var minimum(Var a, Var b);
+  Var maximum(Var a, Var b);
+
+  // --- linear algebra / shaping ---
+  Var matmul(Var a, Var b);
+  // Adds a 1xC bias row to every row of an NxC matrix.
+  Var add_bias(Var m, Var bias);
+  // 1xC -> NxC by repetition (backward sums over rows).
+  Var broadcast_rows(Var rowvec, int n);
+  // Nx1 -> NxC by repetition (backward sums over cols).
+  Var broadcast_cols(Var colvec, int n);
+  // Same element count, new shape; data order preserved (row-major).
+  Var reshape(Var x, int rows, int cols);
+  Var concat_cols(Var a, Var b);
+  Var slice_cols(Var m, int start, int len);
+  // out[i] = m[indices[i]] (rows); backward scatter-adds.
+  Var gather_rows(Var m, std::vector<int> indices);
+  // out[s] = sum of rows i with segments[i] == s; the unsorted_segment_sum
+  // pooling of the paper's GN blocks.
+  Var segment_sum(Var m, std::vector<int> segments, int num_segments);
+
+  // --- unary ---
+  Var relu(Var x);
+  Var tanh(Var x);
+  Var sigmoid(Var x);
+  Var exp(Var x);
+  Var log(Var x);
+  Var square(Var x);
+  Var neg(Var x);
+  Var scale(Var x, float k);
+  Var add_scalar(Var x, float k);
+  // Clamp to [lo, hi]; gradient passes only strictly inside the range.
+  Var clip(Var x, float lo, float hi);
+
+  // --- reductions ---
+  Var sum_all(Var x);   // -> 1x1
+  Var mean_all(Var x);  // -> 1x1
+  Var sum_rows(Var x);  // NxC -> 1xC
+  Var sum_cols(Var x);  // NxC -> Nx1
+
+  // --- execution ---
+  const Tensor& value(Var v) const;
+  // Seeds d(loss)/d(loss) = 1 (loss must be 1x1) and propagates backward
+  // through the whole tape, accumulating into Parameter::grad for leaves.
+  void backward(Var loss);
+  // Gradient of the last backward() with respect to node v.
+  const Tensor& grad(Var v) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;
+    Parameter* parameter = nullptr;  // non-null for leaf()
+    // Accumulates input gradients given this node's grad; empty for leaves
+    // and constants.
+    std::function<void(Tape&, int self)> backward_fn;
+  };
+
+  Node& node(Var v) { return nodes_[static_cast<size_t>(v.id)]; }
+  const Node& node(Var v) const { return nodes_[static_cast<size_t>(v.id)]; }
+  Tensor& grad_of(int id) { return nodes_[static_cast<size_t>(id)].grad; }
+  const Tensor& value_of(int id) const {
+    return nodes_[static_cast<size_t>(id)].value;
+  }
+
+  Var push(Tensor value, std::function<void(Tape&, int)> backward_fn);
+  void check_var(Var v, const char* op) const;
+  void check_same_shape(Var a, Var b, const char* op) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace gddr::nn

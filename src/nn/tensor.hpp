@@ -1,0 +1,75 @@
+// Dense row-major 2-D float tensor: the numeric workhorse under the
+// autodiff tape, the MLP and GNN modules, and PPO.
+//
+// Everything in this reproduction is small (hidden sizes of tens, graphs
+// of tens of nodes), so a simple contiguous matrix with naive kernels is
+// both sufficient and cache-friendly; no BLAS dependency is needed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gddr::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int rows, int cols);
+  Tensor(int rows, int cols, float fill);
+  // 1 x values.size() row vector.
+  static Tensor row(std::span<const double> values);
+  static Tensor row(std::initializer_list<float> values);
+  static Tensor zeros_like(const Tensor& other);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool same_shape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+  std::string shape_str() const;
+
+  float& at(int r, int c) {
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+  float at(int r, int c) const {
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  void fill(float value);
+  void add_in_place(const Tensor& other);
+  void scale_in_place(float factor);
+
+  // Frobenius-norm squared of the tensor (for gradient clipping).
+  double squared_norm() const;
+
+  // Fills with U(-bound, bound).
+  void fill_uniform(util::Rng& rng, double bound);
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+// value = learnable weights, grad = accumulated gradient (same shape).
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+
+  explicit Parameter(Tensor initial)
+      : value(std::move(initial)), grad(Tensor::zeros_like(value)) {}
+  std::size_t size() const { return value.size(); }
+  void zero_grad() { grad.fill(0.0F); }
+};
+
+}  // namespace gddr::nn

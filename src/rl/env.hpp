@@ -1,0 +1,49 @@
+// Reinforcement-learning environment interface (OpenAI-Gym-style, paper
+// §V): reset() starts an episode, step() advances one timestep given an
+// action and returns the next observation, the reward and a done flag.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace gddr::rl {
+
+// A single observation.  Environments fill every representation so that
+// different policy families can consume the same stream:
+//  * `flat`    — flattened feature vector (MLP policies; paper §V-B);
+//  * `nodes` / `edges` / `globals` — graph-structured attributes plus the
+//    sender/receiver connectivity (GNN policies, paper Eq. 4/6);
+struct Observation {
+  std::vector<double> flat;
+  nn::Tensor nodes;    // N x node_dim
+  nn::Tensor edges;    // E x edge_dim
+  nn::Tensor globals;  // 1 x global_dim
+  std::vector<int> senders;    // per edge: source node
+  std::vector<int> receivers;  // per edge: destination node
+  int num_nodes = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Starts a new episode and returns its first observation.
+  virtual Observation reset() = 0;
+
+  struct StepResult {
+    Observation obs;
+    double reward = 0.0;
+    bool done = false;
+  };
+
+  // Applies `action` (length action_dim()) and advances one timestep.
+  virtual StepResult step(std::span<const double> action) = 0;
+
+  // Dimensionality of the action expected by the *next* step() call (may
+  // change across episodes when training over multiple topologies).
+  virtual int action_dim() const = 0;
+};
+
+}  // namespace gddr::rl

@@ -1,0 +1,242 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/gaussian.hpp"
+
+namespace gddr::rl {
+
+using nn::Tape;
+using nn::Tensor;
+
+PpoTrainer::PpoTrainer(Policy& policy, Env& env, const PpoConfig& config,
+                       std::uint64_t seed)
+    : policy_(policy),
+      env_(env),
+      config_(config),
+      rng_(seed),
+      optimizer_(config.learning_rate),
+      params_(policy.parameters()) {}
+
+namespace {
+
+// Per-sample mean/log-prob evaluation outside the update (no gradients
+// needed, but reusing the tape keeps one code path).
+struct Forward {
+  std::vector<double> mean;
+  std::vector<double> log_std;
+  double value = 0.0;
+};
+
+Forward forward_once(Policy& policy, const Observation& obs) {
+  Tape tape;
+  const int adim = policy.action_dim(obs);
+  const Tape::Var mean = policy.action_mean(tape, obs);
+  const Tape::Var value = policy.value(tape, obs);
+  const Tape::Var log_std = policy.log_std_row(tape, adim);
+  Forward fwd;
+  const Tensor& mv = tape.value(mean);
+  const Tensor& lv = tape.value(log_std);
+  fwd.mean.resize(static_cast<size_t>(mv.cols()));
+  fwd.log_std.resize(static_cast<size_t>(lv.cols()));
+  for (int j = 0; j < mv.cols(); ++j) fwd.mean[static_cast<size_t>(j)] = mv.at(0, j);
+  for (int j = 0; j < lv.cols(); ++j) fwd.log_std[static_cast<size_t>(j)] = lv.at(0, j);
+  fwd.value = tape.value(value).at(0, 0);
+  return fwd;
+}
+
+double log_prob_of(const std::vector<double>& action,
+                   const std::vector<double>& mean,
+                   const std::vector<double>& log_std) {
+  constexpr double kLogSqrt2Pi = 0.9189385332046727;
+  double lp = 0.0;
+  for (size_t i = 0; i < action.size(); ++i) {
+    const double sigma = std::exp(log_std[i]);
+    const double z = (action[i] - mean[i]) / sigma;
+    lp += -0.5 * z * z - log_std[i] - kLogSqrt2Pi;
+  }
+  return lp;
+}
+
+}  // namespace
+
+std::vector<double> PpoTrainer::act_deterministic(const Observation& obs) {
+  return forward_once(policy_, obs).mean;
+}
+
+PpoIterationStats PpoTrainer::train_iteration() {
+  RolloutBuffer buffer;
+  PpoIterationStats stats;
+
+  if (env_needs_reset_) {
+    current_obs_ = env_.reset();
+    episode_reward_acc_ = 0.0;
+    env_needs_reset_ = false;
+  }
+
+  double episode_reward_sum = 0.0;
+  int episodes = 0;
+
+  for (int step = 0; step < config_.rollout_steps; ++step) {
+    const Forward fwd = forward_once(policy_, current_obs_);
+    const std::vector<double> action =
+        nn::sample_diag_gaussian(fwd.mean, fwd.log_std, rng_);
+
+    StepSample sample;
+    sample.obs = current_obs_;
+    sample.action = action;
+    sample.log_prob = log_prob_of(action, fwd.mean, fwd.log_std);
+    sample.value = fwd.value;
+
+    Env::StepResult result = env_.step(action);
+    ++total_env_steps_;
+    episode_reward_acc_ += result.reward;
+    sample.reward = result.reward * config_.reward_scale;
+    sample.done = result.done;
+    buffer.add(std::move(sample));
+
+    if (result.done) {
+      episode_reward_sum += episode_reward_acc_;
+      ++episodes;
+      current_obs_ = env_.reset();
+      episode_reward_acc_ = 0.0;
+    } else {
+      current_obs_ = std::move(result.obs);
+    }
+  }
+
+  // Bootstrap the tail value and compute advantages.
+  const double last_value =
+      buffer.samples().back().done ? 0.0
+                                   : forward_once(policy_, current_obs_).value;
+  buffer.compute_gae(config_.gamma, config_.gae_lambda, last_value,
+                     config_.normalize_advantages);
+
+  stats = update(buffer);
+  stats.steps = config_.rollout_steps;
+  stats.episodes = episodes;
+  stats.mean_episode_reward =
+      episodes > 0 ? episode_reward_sum / episodes : 0.0;
+  return stats;
+}
+
+PpoIterationStats PpoTrainer::update(RolloutBuffer& buffer) {
+  PpoIterationStats stats;
+  auto& samples = buffer.samples();
+  std::vector<size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  double policy_loss_acc = 0.0;
+  double value_loss_acc = 0.0;
+  double entropy_acc = 0.0;
+  double kl_acc = 0.0;
+  double clip_acc = 0.0;
+  long batches = 0;
+
+  const float clip = static_cast<float>(config_.clip_epsilon);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config_.minibatch_size)) {
+      const size_t end = std::min(
+          order.size(), start + static_cast<size_t>(config_.minibatch_size));
+      const auto batch_size = static_cast<float>(end - start);
+
+      Tape tape;
+      Tape::Var total_loss = tape.constant(Tensor(1, 1));
+      double batch_kl = 0.0;
+      double batch_clipfrac = 0.0;
+      double batch_policy_loss = 0.0;
+      double batch_value_loss = 0.0;
+      double batch_entropy = 0.0;
+
+      for (size_t k = start; k < end; ++k) {
+        const StepSample& s = samples[order[k]];
+        const int adim = static_cast<int>(s.action.size());
+
+        const Tape::Var mean = policy_.action_mean(tape, s.obs);
+        const Tape::Var log_std = policy_.log_std_row(tape, adim);
+        const Tensor action_row = Tensor::row(
+            std::span<const double>(s.action.data(), s.action.size()));
+        const Tape::Var log_prob = nn::diag_gaussian_log_prob(
+            tape, mean, log_std, action_row);  // 1x1
+
+        // ratio = exp(logpi - logpi_old)
+        const Tape::Var ratio = tape.exp(tape.add_scalar(
+            log_prob, static_cast<float>(-s.log_prob)));
+        const auto adv = static_cast<float>(s.advantage);
+        const Tape::Var surr1 = tape.scale(ratio, adv);
+        const Tape::Var surr2 =
+            tape.scale(tape.clip(ratio, 1.0F - clip, 1.0F + clip), adv);
+        const Tape::Var policy_obj = tape.minimum(surr1, surr2);
+        const Tape::Var policy_loss = tape.neg(policy_obj);
+
+        // Clipped value loss (PPO2 style).
+        const Tape::Var v = policy_.value(tape, s.obs);
+        const auto v_old = static_cast<float>(s.value);
+        const auto ret = static_cast<float>(s.return_);
+        const Tape::Var v_err = tape.square(tape.add_scalar(v, -ret));
+        const Tape::Var v_clipped = tape.add_scalar(
+            tape.clip(tape.add_scalar(v, -v_old), -clip, clip),
+            v_old - ret);
+        const Tape::Var v_err_clipped = tape.square(v_clipped);
+        const Tape::Var value_loss =
+            tape.scale(tape.maximum(v_err, v_err_clipped), 0.5F);
+
+        const Tape::Var entropy = nn::diag_gaussian_entropy(tape, log_std);
+
+        Tape::Var loss = tape.add(
+            policy_loss,
+            tape.scale(value_loss, static_cast<float>(config_.value_coef)));
+        loss = tape.sub(
+            loss,
+            tape.scale(entropy, static_cast<float>(config_.entropy_coef)));
+        total_loss = tape.add(total_loss, loss);
+
+        // Diagnostics.
+        const double lp_new = tape.value(log_prob).at(0, 0);
+        const double r = std::exp(lp_new - s.log_prob);
+        batch_kl += s.log_prob - lp_new;
+        if (std::abs(r - 1.0) > config_.clip_epsilon) batch_clipfrac += 1.0;
+        batch_policy_loss += tape.value(policy_loss).at(0, 0);
+        batch_value_loss += tape.value(value_loss).at(0, 0);
+        batch_entropy += tape.value(entropy).at(0, 0);
+      }
+
+      total_loss = tape.scale(total_loss, 1.0F / batch_size);
+      nn::zero_grads(params_);
+      tape.backward(total_loss);
+      nn::clip_grad_norm(params_, config_.max_grad_norm);
+      optimizer_.step(params_);
+
+      policy_loss_acc += batch_policy_loss / batch_size;
+      value_loss_acc += batch_value_loss / batch_size;
+      entropy_acc += batch_entropy / batch_size;
+      kl_acc += batch_kl / batch_size;
+      clip_acc += batch_clipfrac / batch_size;
+      ++batches;
+    }
+  }
+
+  if (batches > 0) {
+    stats.policy_loss = policy_loss_acc / static_cast<double>(batches);
+    stats.value_loss = value_loss_acc / static_cast<double>(batches);
+    stats.entropy = entropy_acc / static_cast<double>(batches);
+    stats.approx_kl = kl_acc / static_cast<double>(batches);
+    stats.clip_fraction = clip_acc / static_cast<double>(batches);
+  }
+  return stats;
+}
+
+void PpoTrainer::train(long total_steps, const Callback& callback) {
+  const long target = total_env_steps_ + total_steps;
+  while (total_env_steps_ < target) {
+    const PpoIterationStats stats = train_iteration();
+    if (callback) callback(stats);
+  }
+}
+
+}  // namespace gddr::rl

@@ -1,0 +1,84 @@
+// Proximal Policy Optimisation (Schulman et al. 2017), the algorithm the
+// paper trains all its agents with (§VIII-C, stable-baselines PPO2).
+//
+// Implemented features match PPO2: clipped surrogate objective, clipped
+// value loss, entropy bonus, GAE(lambda) advantages, advantage
+// normalisation, minibatched multi-epoch updates, Adam, and global
+// gradient-norm clipping.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "nn/optimizer.hpp"
+#include "rl/env.hpp"
+#include "rl/policy.hpp"
+#include "rl/rollout.hpp"
+#include "util/rng.hpp"
+
+namespace gddr::rl {
+
+struct PpoConfig {
+  int rollout_steps = 256;   // environment steps per update
+  int epochs = 4;            // optimisation passes over each rollout
+  int minibatch_size = 64;
+  double gamma = 0.99;       // discount
+  double gae_lambda = 0.95;
+  double clip_epsilon = 0.2;
+  double value_coef = 0.5;
+  double entropy_coef = 0.001;
+  double learning_rate = 3e-4;
+  double max_grad_norm = 0.5;
+  bool normalize_advantages = true;
+  // Rewards are multiplied by this before storage (keeps value targets in
+  // a friendly range for long episodes).
+  double reward_scale = 1.0;
+};
+
+struct PpoIterationStats {
+  int steps = 0;                   // environment steps this iteration
+  double mean_episode_reward = 0;  // unscaled, over episodes completed
+  int episodes = 0;
+  double policy_loss = 0.0;
+  double value_loss = 0.0;
+  double entropy = 0.0;
+  double approx_kl = 0.0;
+  double clip_fraction = 0.0;
+};
+
+class PpoTrainer {
+ public:
+  // `policy` and `env` must outlive the trainer.
+  PpoTrainer(Policy& policy, Env& env, const PpoConfig& config,
+             std::uint64_t seed);
+
+  // Collects one rollout and performs the PPO update.
+  PpoIterationStats train_iteration();
+
+  // Runs iterations until at least `total_steps` environment steps have
+  // been taken; invokes `callback` (if set) after each iteration.
+  using Callback = std::function<void(const PpoIterationStats&)>;
+  void train(long total_steps, const Callback& callback = {});
+
+  long total_env_steps() const { return total_env_steps_; }
+
+  // Deterministic greedy action (the distribution mean) for evaluation.
+  std::vector<double> act_deterministic(const Observation& obs);
+
+ private:
+  PpoIterationStats update(RolloutBuffer& buffer);
+
+  Policy& policy_;
+  Env& env_;
+  PpoConfig config_;
+  util::Rng rng_;
+  nn::Adam optimizer_;
+  std::vector<nn::Parameter*> params_;
+
+  bool env_needs_reset_ = true;
+  Observation current_obs_;
+  double episode_reward_acc_ = 0.0;
+  long total_env_steps_ = 0;
+};
+
+}  // namespace gddr::rl

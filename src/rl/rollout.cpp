@@ -1,0 +1,35 @@
+#include "rl/rollout.hpp"
+
+#include <cmath>
+
+namespace gddr::rl {
+
+void RolloutBuffer::compute_gae(double gamma, double lambda,
+                                double last_value,
+                                bool normalize_advantages) {
+  double next_value = last_value;
+  double next_advantage = 0.0;
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+    StepSample& s = *it;
+    const double not_done = s.done ? 0.0 : 1.0;
+    const double delta = s.reward + gamma * next_value * not_done - s.value;
+    s.advantage = delta + gamma * lambda * not_done * next_advantage;
+    s.return_ = s.advantage + s.value;
+    next_value = s.value;
+    next_advantage = s.advantage;
+  }
+  if (normalize_advantages && samples_.size() > 1) {
+    double mean = 0.0;
+    for (const auto& s : samples_) mean += s.advantage;
+    mean /= static_cast<double>(samples_.size());
+    double var = 0.0;
+    for (const auto& s : samples_) {
+      var += (s.advantage - mean) * (s.advantage - mean);
+    }
+    var /= static_cast<double>(samples_.size());
+    const double stddev = std::sqrt(var) + 1e-8;
+    for (auto& s : samples_) s.advantage = (s.advantage - mean) / stddev;
+  }
+}
+
+}  // namespace gddr::rl

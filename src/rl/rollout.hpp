@@ -1,0 +1,41 @@
+// Experience storage and Generalised Advantage Estimation.
+#pragma once
+
+#include <vector>
+
+#include "rl/env.hpp"
+
+namespace gddr::rl {
+
+struct StepSample {
+  Observation obs;
+  std::vector<double> action;
+  double log_prob = 0.0;  // behaviour-policy log-density of `action`
+  double value = 0.0;     // V(obs) at collection time
+  double reward = 0.0;
+  bool done = false;
+  // Filled in by compute_gae():
+  double advantage = 0.0;
+  double return_ = 0.0;
+};
+
+class RolloutBuffer {
+ public:
+  void clear() { samples_.clear(); }
+  void add(StepSample sample) { samples_.push_back(std::move(sample)); }
+  std::size_t size() const { return samples_.size(); }
+  std::vector<StepSample>& samples() { return samples_; }
+  const std::vector<StepSample>& samples() const { return samples_; }
+
+  // GAE(lambda) over the stored trajectory (a single stream of steps;
+  // `done` flags delimit episodes).  `last_value` bootstraps the value of
+  // the state following the final stored step (0 if that step ended an
+  // episode).  Optionally normalises advantages to zero mean / unit std.
+  void compute_gae(double gamma, double lambda, double last_value,
+                   bool normalize_advantages);
+
+ private:
+  std::vector<StepSample> samples_;
+};
+
+}  // namespace gddr::rl

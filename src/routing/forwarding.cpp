@@ -1,0 +1,77 @@
+#include "routing/forwarding.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gddr::routing {
+
+using graph::DiGraph;
+using graph::EdgeId;
+using graph::NodeId;
+
+bool is_destination_based(const DiGraph& g, const Routing& routing,
+                          double tolerance) {
+  for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    // Compare every source's ratios against the first source != t.
+    NodeId reference = (t == 0) ? 1 : 0;
+    for (NodeId s = 0; s < g.num_nodes(); ++s) {
+      if (s == t || s == reference) continue;
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        if (std::abs(routing.ratio(s, t, e) -
+                     routing.ratio(reference, t, e)) > tolerance) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<FlowTableEntry> to_flow_tables(const DiGraph& g,
+                                           const Routing& routing) {
+  if (!is_destination_based(g, routing)) {
+    throw std::invalid_argument(
+        "to_flow_tables: routing is not destination-based");
+  }
+  std::vector<FlowTableEntry> tables;
+  for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    const NodeId source = (t == 0) ? 1 : 0;  // representative source
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == t) continue;
+      FlowTableEntry entry;
+      entry.node = v;
+      entry.destination = t;
+      for (EdgeId e : g.out_edges(v)) {
+        const double share = routing.ratio(source, t, e);
+        if (share > 0.0) {
+          entry.next_hops.push_back(NextHop{e, g.edge(e).dst, share});
+        }
+      }
+      if (!entry.next_hops.empty()) tables.push_back(std::move(entry));
+    }
+  }
+  return tables;
+}
+
+std::string format_flow_table(const DiGraph& g,
+                              const std::vector<FlowTableEntry>& tables,
+                              NodeId node) {
+  std::ostringstream os;
+  os << "flow table for node " << node << ":\n";
+  for (const auto& entry : tables) {
+    if (entry.node != node) continue;
+    os << "  dst " << entry.destination << " ->";
+    for (const auto& hop : entry.next_hops) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, " via %d (%.1f%%)", hop.neighbour,
+                    hop.share * 100.0);
+      os << buf;
+    }
+    os << '\n';
+  }
+  (void)g;
+  return os.str();
+}
+
+}  // namespace gddr::routing

@@ -1,0 +1,323 @@
+#include "routing/prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace gddr::routing {
+namespace {
+
+using graph::DiGraph;
+using graph::EdgeId;
+using graph::kInvalidEdge;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTol = 1e-12;
+
+std::vector<bool> monotone_mask(const DiGraph& g,
+                                const std::vector<double>& potential,
+                                bool decreasing) {
+  std::vector<bool> mask(static_cast<size_t>(g.num_edges()), false);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    const double pu = potential[static_cast<size_t>(ed.src)];
+    const double pv = potential[static_cast<size_t>(ed.dst)];
+    if (pu == kInf || pv == kInf) continue;
+    mask[static_cast<size_t>(e)] =
+        decreasing ? (pu > pv + kTol) : (pu + kTol < pv);
+  }
+  return mask;
+}
+
+// The paper's Figure-3 algorithm (see header for the interpretation of the
+// under-specified parts).
+std::vector<bool> frontier_meet_mask(const DiGraph& g, NodeId s, NodeId t,
+                                     const std::vector<double>& weights) {
+  const auto n = static_cast<size_t>(g.num_nodes());
+
+  // --- Dijkstra from the source, recording parents and frontier meets ---
+  std::vector<double> dist_s(n, kInf);
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<bool> settled(n, false);
+  std::vector<NodeId> sink_parents;  // the sink records multiple parents
+  std::vector<std::pair<NodeId, NodeId>> frontier_meets;
+
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist_s[static_cast<size_t>(s)] = 0.0;
+  pq.emplace(0.0, s);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (settled[static_cast<size_t>(v)]) continue;
+    settled[static_cast<size_t>(v)] = true;
+    for (EdgeId e : g.out_edges(v)) {
+      const NodeId u = g.edge(e).dst;
+      if (u == parent[static_cast<size_t>(v)]) continue;
+      if (u == t && v != t) {
+        sink_parents.push_back(v);
+      }
+      if (settled[static_cast<size_t>(u)]) {
+        frontier_meets.emplace_back(v, u);
+        continue;
+      }
+      const double nd = d + weights[static_cast<size_t>(e)];
+      if (nd < dist_s[static_cast<size_t>(u)]) {
+        dist_s[static_cast<size_t>(u)] = nd;
+        parent[static_cast<size_t>(u)] = v;
+        pq.emplace(nd, u);
+      }
+    }
+  }
+  if (dist_s[static_cast<size_t>(t)] == kInf) {
+    throw std::runtime_error("prune_dag: sink unreachable from source");
+  }
+
+  // --- Mark on-path vertices and their distance-to-sink `d` via the
+  //     parent chains (paper: BFS from the sink through parents) ---
+  std::vector<bool> on_path(n, false);
+  std::vector<double> dist_t(n, kInf);
+  dist_t[static_cast<size_t>(t)] = 0.0;
+  on_path[static_cast<size_t>(t)] = true;
+
+  auto edge_weight = [&](NodeId u, NodeId v) {
+    const auto e = g.find_edge(u, v);
+    return e.has_value() ? weights[static_cast<size_t>(*e)] : kInf;
+  };
+
+  auto mark_chain_from = [&](NodeId child) {
+    // Walk parent pointers from `child` (already on path) toward s.
+    NodeId v = child;
+    while (v != s && v != kInvalidNode) {
+      const NodeId p = parent[static_cast<size_t>(v)];
+      if (p == kInvalidNode) break;
+      const double nd =
+          dist_t[static_cast<size_t>(v)] + edge_weight(p, v);
+      if (on_path[static_cast<size_t>(p)] &&
+          dist_t[static_cast<size_t>(p)] <= nd) {
+        break;  // rest of the chain already marked with a better distance
+      }
+      on_path[static_cast<size_t>(p)] = true;
+      dist_t[static_cast<size_t>(p)] = nd;
+      v = p;
+    }
+  };
+  for (NodeId sp : sink_parents) {
+    if (dist_s[static_cast<size_t>(sp)] == kInf) continue;
+    on_path[static_cast<size_t>(sp)] = true;
+    dist_t[static_cast<size_t>(sp)] = edge_weight(sp, t);
+    mark_chain_from(sp);
+  }
+
+  // --- Graft paths across frontier meets whose on-path ancestors sit at
+  //     different distances to the sink ---
+  auto on_path_ancestor = [&](NodeId v) {
+    NodeId a = v;
+    std::size_t guard = 0;
+    while (a != kInvalidNode && !on_path[static_cast<size_t>(a)] &&
+           guard++ < n) {
+      a = parent[static_cast<size_t>(a)];
+    }
+    return (a != kInvalidNode && on_path[static_cast<size_t>(a)]) ? a
+                                                                  : kInvalidNode;
+  };
+
+  std::vector<std::pair<NodeId, NodeId>> grafted_edges;
+  for (const auto& [v, u] : frontier_meets) {
+    const NodeId a = on_path_ancestor(v);
+    const NodeId b = on_path_ancestor(u);
+    if (a == kInvalidNode || b == kInvalidNode || a == b) continue;
+    const double da = dist_t[static_cast<size_t>(a)];
+    const double db = dist_t[static_cast<size_t>(b)];
+    if (std::abs(da - db) <= kTol) continue;  // same distance: skip (paper)
+    if (!(da > db)) continue;  // only graft from the more distant ancestor;
+                               // the mirrored meet (u,v) covers the reverse
+    // New path: a ->(tree)-> v -> u ->(reverse tree)-> b.  Mark every vertex
+    // on it and assign decreasing distances so later repairs orient edges.
+    // Collect chain a..v (tree edges go parent->child).
+    std::vector<NodeId> down;  // v, parent(v), ..., a
+    for (NodeId x = v; x != kInvalidNode; x = parent[static_cast<size_t>(x)]) {
+      down.push_back(x);
+      if (x == a) break;
+    }
+    if (down.empty() || down.back() != a) continue;
+    std::vector<NodeId> up;  // u, parent(u), ..., b
+    for (NodeId x = u; x != kInvalidNode; x = parent[static_cast<size_t>(x)]) {
+      up.push_back(x);
+      if (x == b) break;
+    }
+    if (up.empty() || up.back() != b) continue;
+
+    // Assign distances along the path from b backwards: the up-chain is
+    // traversed u->...->b via reverse edges; check they exist (they do in
+    // bidirectional topologies; otherwise skip the graft).
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < up.size(); ++i) {
+      if (!g.find_edge(up[i], up[i + 1]).has_value()) {
+        ok = false;
+        break;
+      }
+    }
+    if (!g.find_edge(v, u).has_value()) ok = false;
+    if (!ok) continue;
+
+    // Walk the full path from the sink side, accumulating dist_t.
+    double acc = dist_t[static_cast<size_t>(b)];
+    for (std::size_t i = up.size(); i-- > 1;) {
+      // edge up[i-1] -> up[i]
+      acc += edge_weight(up[i - 1], up[i]);
+      const NodeId x = up[i - 1];
+      if (!on_path[static_cast<size_t>(x)] ||
+          acc < dist_t[static_cast<size_t>(x)]) {
+        on_path[static_cast<size_t>(x)] = true;
+        dist_t[static_cast<size_t>(x)] = acc;
+      } else {
+        acc = dist_t[static_cast<size_t>(x)];
+      }
+      grafted_edges.emplace_back(x, up[i]);
+    }
+    // meet edge v -> u
+    acc = dist_t[static_cast<size_t>(u)] + edge_weight(v, u);
+    if (!on_path[static_cast<size_t>(v)] ||
+        acc < dist_t[static_cast<size_t>(v)]) {
+      on_path[static_cast<size_t>(v)] = true;
+      dist_t[static_cast<size_t>(v)] = acc;
+    }
+    grafted_edges.emplace_back(v, u);
+    // down-chain: edges parent->child already exist; mark vertices.
+    for (std::size_t i = 1; i < down.size(); ++i) {
+      const NodeId x = down[i];  // ancestor side
+      const double nd =
+          dist_t[static_cast<size_t>(down[i - 1])] +
+          edge_weight(x, down[i - 1]);
+      if (!on_path[static_cast<size_t>(x)] ||
+          nd < dist_t[static_cast<size_t>(x)]) {
+        on_path[static_cast<size_t>(x)] = true;
+        dist_t[static_cast<size_t>(x)] = nd;
+      }
+      grafted_edges.emplace_back(x, down[i - 1]);
+    }
+  }
+
+  // --- Final edge selection ---
+  // Keep edges between on-path vertices; the paper removes anti-parent
+  // edges, and we orient any remaining ambiguous pair by strictly
+  // decreasing dist_t (the invariant all tree/grafted edges satisfy),
+  // which removes the 2-cycles the pseudocode leaves unresolved.
+  std::vector<bool> mask(static_cast<size_t>(g.num_edges()), false);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    if (!on_path[static_cast<size_t>(ed.src)] ||
+        !on_path[static_cast<size_t>(ed.dst)]) {
+      continue;
+    }
+    if (dist_t[static_cast<size_t>(ed.src)] >
+        dist_t[static_cast<size_t>(ed.dst)] + kTol) {
+      mask[static_cast<size_t>(e)] = true;
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+void restrict_to_st_paths(const DiGraph& g, NodeId s, NodeId t,
+                          std::vector<bool>& mask) {
+  const auto n = static_cast<size_t>(g.num_nodes());
+  // Reachable from s through masked edges.
+  std::vector<bool> from_s(n, false);
+  {
+    std::queue<NodeId> q;
+    q.push(s);
+    from_s[static_cast<size_t>(s)] = true;
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (EdgeId e : g.out_edges(v)) {
+        if (!mask[static_cast<size_t>(e)]) continue;
+        const NodeId u = g.edge(e).dst;
+        if (!from_s[static_cast<size_t>(u)]) {
+          from_s[static_cast<size_t>(u)] = true;
+          q.push(u);
+        }
+      }
+    }
+  }
+  // Co-reachable to t through masked edges.
+  std::vector<bool> to_t(n, false);
+  {
+    std::queue<NodeId> q;
+    q.push(t);
+    to_t[static_cast<size_t>(t)] = true;
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (EdgeId e : g.in_edges(v)) {
+        if (!mask[static_cast<size_t>(e)]) continue;
+        const NodeId u = g.edge(e).src;
+        if (!to_t[static_cast<size_t>(u)]) {
+          to_t[static_cast<size_t>(u)] = true;
+          q.push(u);
+        }
+      }
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!mask[static_cast<size_t>(e)]) continue;
+    const auto& ed = g.edge(e);
+    mask[static_cast<size_t>(e)] = from_s[static_cast<size_t>(ed.src)] &&
+                                   to_t[static_cast<size_t>(ed.dst)];
+  }
+}
+
+std::vector<bool> prune_dag(const DiGraph& g, NodeId s, NodeId t,
+                            const std::vector<double>& weights,
+                            PruneMode mode) {
+  if (!g.valid_node(s) || !g.valid_node(t) || s == t) {
+    throw std::invalid_argument("prune_dag: bad flow endpoints");
+  }
+  for (double w : weights) {
+    if (!(w > 0.0)) {
+      throw std::invalid_argument("prune_dag: weights must be positive");
+    }
+  }
+  std::vector<bool> mask;
+  switch (mode) {
+    case PruneMode::kDistanceToSink:
+      mask = monotone_mask(g, graph::dijkstra_to(g, t, weights).dist,
+                           /*decreasing=*/true);
+      break;
+    case PruneMode::kDistanceFromSource:
+      mask = monotone_mask(g, graph::dijkstra(g, s, weights).dist,
+                           /*decreasing=*/false);
+      break;
+    case PruneMode::kFrontierMeet:
+      mask = frontier_meet_mask(g, s, t, weights);
+      break;
+  }
+  restrict_to_st_paths(g, s, t, mask);
+  // Every mode must leave at least the shortest path; if numerical
+  // degeneracy (e.g. ties everywhere) emptied the mask, fall back to the
+  // downhill DAG which always retains the shortest path.
+  bool any = false;
+  for (EdgeId e : g.out_edges(s)) {
+    if (mask[static_cast<size_t>(e)]) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) {
+    mask = monotone_mask(g, graph::dijkstra_to(g, t, weights).dist,
+                         /*decreasing=*/true);
+    restrict_to_st_paths(g, s, t, mask);
+  }
+  return mask;
+}
+
+}  // namespace gddr::routing

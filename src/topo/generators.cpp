@@ -1,0 +1,113 @@
+#include "topo/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace gddr::topo {
+namespace {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+double pick_capacity(const CapacityModel& cap, util::Rng& rng) {
+  if (cap.choices.empty()) throw std::invalid_argument("empty capacity set");
+  return cap.choices[rng.uniform_index(cap.choices.size())];
+}
+
+void add_link(DiGraph& g, NodeId u, NodeId v, const CapacityModel& cap,
+              util::Rng& rng) {
+  if (u == v || g.find_edge(u, v).has_value()) return;
+  g.add_bidirectional(u, v, pick_capacity(cap, rng));
+}
+
+}  // namespace
+
+DiGraph erdos_renyi(int n, double p, util::Rng& rng,
+                    const CapacityModel& cap) {
+  if (n < 3) throw std::invalid_argument("erdos_renyi: n < 3");
+  DiGraph g(n, "ErdosRenyi");
+  // Random cycle backbone guarantees strong connectivity.
+  std::vector<NodeId> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  for (int i = 0; i < n; ++i) {
+    add_link(g, order[static_cast<size_t>(i)],
+             order[static_cast<size_t>((i + 1) % n)], cap, rng);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) add_link(g, u, v, cap, rng);
+    }
+  }
+  assert(graph::is_strongly_connected(g));
+  return g;
+}
+
+DiGraph watts_strogatz(int n, int k, double beta, util::Rng& rng,
+                       const CapacityModel& cap) {
+  if (n < 4 || k < 2 || k >= n) {
+    throw std::invalid_argument("watts_strogatz: need 4 <= k+2 <= n");
+  }
+  DiGraph g(n, "WattsStrogatz");
+  // Ring lattice; offset-1 links form the never-rewired connectivity ring.
+  for (NodeId u = 0; u < n; ++u) {
+    add_link(g, u, (u + 1) % n, cap, rng);
+  }
+  for (int offset = 2; offset <= k / 2; ++offset) {
+    for (NodeId u = 0; u < n; ++u) {
+      NodeId v = (u + offset) % n;
+      if (rng.bernoulli(beta)) {
+        // Rewire to a uniform random non-neighbour.
+        for (int attempts = 0; attempts < 16; ++attempts) {
+          const NodeId w = static_cast<NodeId>(
+              rng.uniform_index(static_cast<std::uint64_t>(n)));
+          if (w != u && !g.find_edge(u, w).has_value()) {
+            v = w;
+            break;
+          }
+        }
+      }
+      add_link(g, u, v, cap, rng);
+    }
+  }
+  assert(graph::is_strongly_connected(g));
+  return g;
+}
+
+DiGraph barabasi_albert(int n, int m, util::Rng& rng,
+                        const CapacityModel& cap) {
+  if (n < 3 || m < 1) throw std::invalid_argument("barabasi_albert: bad args");
+  DiGraph g(n, "BarabasiAlbert");
+  add_link(g, 0, 1, cap, rng);
+  add_link(g, 1, 2, cap, rng);
+  add_link(g, 2, 0, cap, rng);
+  // Degree-proportional target sampling: repeat every endpoint of every
+  // link once per direction.
+  std::vector<NodeId> endpoints{0, 1, 1, 2, 2, 0};
+  for (NodeId u = 3; u < n; ++u) {
+    std::vector<NodeId> targets;
+    int guard = 0;
+    while (static_cast<int>(targets.size()) < std::min<int>(m, u) &&
+           guard++ < 1000) {
+      const NodeId t = endpoints[rng.uniform_index(endpoints.size())];
+      if (t != u &&
+          std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    if (targets.empty()) targets.push_back(u - 1);
+    for (NodeId t : targets) {
+      add_link(g, u, t, cap, rng);
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
+  assert(graph::is_strongly_connected(g));
+  return g;
+}
+
+}  // namespace gddr::topo

@@ -1,0 +1,34 @@
+// Random topology generators.
+//
+// Used for test-suite coverage beyond the embedded catalogue and for
+// property tests (every generated graph is strongly connected, so every
+// demand pair is routable).
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace gddr::topo {
+
+struct CapacityModel {
+  // Each bidirectional link draws a capacity uniformly from this set.
+  std::vector<double> choices{9920.0};
+};
+
+// G(n, p) with bidirectional links; a random Hamiltonian-ish cycle is added
+// first so the result is always strongly connected.
+graph::DiGraph erdos_renyi(int n, double p, util::Rng& rng,
+                           const CapacityModel& cap = {});
+
+// Watts-Strogatz small-world ring: each node is linked to `k/2` neighbours
+// on each side, then links are rewired with probability `beta` (the ring
+// itself is never rewired, preserving connectivity).
+graph::DiGraph watts_strogatz(int n, int k, double beta, util::Rng& rng,
+                              const CapacityModel& cap = {});
+
+// Barabasi-Albert preferential attachment with `m` links per new node,
+// seeded from a triangle.
+graph::DiGraph barabasi_albert(int n, int m, util::Rng& rng,
+                               const CapacityModel& cap = {});
+
+}  // namespace gddr::topo

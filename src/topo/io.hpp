@@ -1,0 +1,35 @@
+// Topology file I/O.
+//
+// The Internet Topology Zoo ships GraphML, which is overkill for the
+// information this library uses (named nodes, links, capacities).  This
+// module defines a minimal line-based text format so users can bring
+// their own topologies (including ones converted from the Zoo) and export
+// the embedded catalogue:
+//
+//     gddr-topology v1
+//     name Abilene
+//     nodes 11
+//     link 0 1 9920        # bidirectional link with capacity
+//     edge 3 4 2480        # single directed edge
+//     # comments and blank lines are ignored
+//
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace gddr::topo {
+
+// Writes `g` in the format above (directed edges that pair up into
+// equal-capacity bidirectional links are emitted as one `link` line).
+void save_topology(std::ostream& os, const graph::DiGraph& g);
+void save_topology_file(const std::string& path, const graph::DiGraph& g);
+
+// Parses the format above.  Throws std::runtime_error with a line number
+// on malformed input.
+graph::DiGraph load_topology(std::istream& is);
+graph::DiGraph load_topology_file(const std::string& path);
+
+}  // namespace gddr::topo

@@ -1,0 +1,160 @@
+#include "topo/mutate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "graph/algorithms.hpp"
+
+namespace gddr::topo {
+namespace {
+
+using graph::DiGraph;
+using graph::EdgeId;
+using graph::NodeId;
+
+// Median capacity of existing links; new links match the network's scale.
+double typical_capacity(const DiGraph& g) {
+  if (g.num_edges() == 0) return 9920.0;
+  std::vector<double> caps;
+  caps.reserve(static_cast<size_t>(g.num_edges()));
+  for (const auto& e : g.edges()) caps.push_back(e.capacity);
+  std::nth_element(caps.begin(), caps.begin() + caps.size() / 2, caps.end());
+  return caps[caps.size() / 2];
+}
+
+bool try_add_edge(const DiGraph& g, util::Rng& rng, DiGraph& out,
+                  std::string& desc) {
+  // Collect non-adjacent pairs.
+  std::vector<std::pair<NodeId, NodeId>> candidates;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+      if (!g.find_edge(u, v).has_value()) candidates.emplace_back(u, v);
+    }
+  }
+  if (candidates.empty()) return false;
+  const auto [u, v] = candidates[rng.uniform_index(candidates.size())];
+  out = g;
+  out.add_bidirectional(u, v, typical_capacity(g));
+  desc = "add edge " + std::to_string(u) + "<->" + std::to_string(v);
+  return true;
+}
+
+bool try_remove_edge(const DiGraph& g, util::Rng& rng, DiGraph& out,
+                     std::string& desc) {
+  // Remove a bidirectional pair; keep strong connectivity.
+  std::vector<std::pair<EdgeId, EdgeId>> candidates;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    if (ed.src < ed.dst) {
+      if (const auto rev = g.find_edge(ed.dst, ed.src)) {
+        candidates.emplace_back(e, *rev);
+      }
+    }
+  }
+  rng.shuffle(candidates);
+  for (const auto& [fwd, rev] : candidates) {
+    std::vector<bool> remove(static_cast<size_t>(g.num_edges()), false);
+    remove[static_cast<size_t>(fwd)] = true;
+    remove[static_cast<size_t>(rev)] = true;
+    DiGraph candidate = g.without_edges(remove);
+    if (graph::is_strongly_connected(candidate)) {
+      out = std::move(candidate);
+      const auto& ed = g.edge(fwd);
+      desc = "remove edge " + std::to_string(ed.src) + "<->" +
+             std::to_string(ed.dst);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool try_add_node(const DiGraph& g, util::Rng& rng, DiGraph& out,
+                  std::string& desc) {
+  if (g.num_nodes() < 2) return false;
+  out = g;
+  const NodeId fresh = out.add_node();
+  // Attach with two links to distinct existing nodes so the new node is on
+  // a cycle (strong connectivity is preserved trivially for bidirectional
+  // links, but two attachments give it routing choice).
+  const NodeId a = static_cast<NodeId>(
+      rng.uniform_index(static_cast<std::uint64_t>(g.num_nodes())));
+  NodeId b = a;
+  while (b == a) {
+    b = static_cast<NodeId>(
+        rng.uniform_index(static_cast<std::uint64_t>(g.num_nodes())));
+  }
+  const double cap = typical_capacity(g);
+  out.add_bidirectional(fresh, a, cap);
+  out.add_bidirectional(fresh, b, cap);
+  desc = "add node " + std::to_string(fresh) + " attached to " +
+         std::to_string(a) + "," + std::to_string(b);
+  return true;
+}
+
+bool try_remove_node(const DiGraph& g, util::Rng& rng, DiGraph& out,
+                     std::string& desc) {
+  if (g.num_nodes() <= 3) return false;
+  std::vector<NodeId> nodes(static_cast<size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    nodes[static_cast<size_t>(v)] = v;
+  }
+  rng.shuffle(nodes);
+  for (NodeId v : nodes) {
+    DiGraph candidate = g.without_node(v);
+    if (graph::is_strongly_connected(candidate)) {
+      out = std::move(candidate);
+      desc = "remove node " + std::to_string(v);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+DiGraph mutate_once(const DiGraph& g, util::Rng& rng, Mutation* applied) {
+  std::vector<MutationKind> kinds{MutationKind::kAddEdge,
+                                  MutationKind::kRemoveEdge,
+                                  MutationKind::kAddNode,
+                                  MutationKind::kRemoveNode};
+  rng.shuffle(kinds);
+  DiGraph out;
+  std::string desc;
+  for (MutationKind kind : kinds) {
+    bool ok = false;
+    switch (kind) {
+      case MutationKind::kAddEdge:
+        ok = try_add_edge(g, rng, out, desc);
+        break;
+      case MutationKind::kRemoveEdge:
+        ok = try_remove_edge(g, rng, out, desc);
+        break;
+      case MutationKind::kAddNode:
+        ok = try_add_node(g, rng, out, desc);
+        break;
+      case MutationKind::kRemoveNode:
+        ok = try_remove_node(g, rng, out, desc);
+        break;
+    }
+    if (ok) {
+      if (applied != nullptr) *applied = Mutation{kind, desc};
+      out.set_name(g.name() + "+mut");
+      return out;
+    }
+  }
+  throw std::runtime_error("no valid mutation exists");
+}
+
+DiGraph mutate(const DiGraph& g, int count, util::Rng& rng,
+               std::vector<Mutation>* applied) {
+  DiGraph current = g;
+  for (int i = 0; i < count; ++i) {
+    Mutation m{MutationKind::kAddEdge, ""};
+    current = mutate_once(current, rng, &m);
+    if (applied != nullptr) applied->push_back(std::move(m));
+  }
+  return current;
+}
+
+}  // namespace gddr::topo

@@ -1,0 +1,35 @@
+// Topology mutation for the generalisation experiment (paper §VIII-D,
+// Figure 8): "the addition or deletion of one or two edges or nodes
+// (chosen randomly)".
+//
+// Every mutation preserves strong connectivity so that all demands remain
+// routable; a mutation that would disconnect the graph is re-drawn.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace gddr::topo {
+
+enum class MutationKind { kAddEdge, kRemoveEdge, kAddNode, kRemoveNode };
+
+struct Mutation {
+  MutationKind kind;
+  // Human-readable description ("add edge 3<->7", ...) for logging.
+  std::string description;
+};
+
+// Applies one random mutation; returns the mutated graph and records what
+// was done.  Throws std::runtime_error if no valid mutation of any kind
+// exists (cannot happen for the catalogue topologies).
+graph::DiGraph mutate_once(const graph::DiGraph& g, util::Rng& rng,
+                           Mutation* applied = nullptr);
+
+// Applies `count` (1 or 2 in the paper) random mutations in sequence.
+graph::DiGraph mutate(const graph::DiGraph& g, int count, util::Rng& rng,
+                      std::vector<Mutation>* applied = nullptr);
+
+}  // namespace gddr::topo

@@ -1,0 +1,277 @@
+#include "topo/zoo.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gddr::topo {
+namespace {
+
+using graph::DiGraph;
+
+struct Link {
+  int u;
+  int v;
+  double capacity;
+};
+
+DiGraph build(const std::string& name, int nodes,
+              const std::vector<Link>& links) {
+  DiGraph g(nodes, name);
+  for (const Link& l : links) g.add_bidirectional(l.u, l.v, l.capacity);
+  return g;
+}
+
+// Default backbone link capacity (OC-192-like).  Absolute scale cancels in
+// the U_max ratio metric; relative differences between links do matter.
+constexpr double kOC192 = 9920.0;
+constexpr double kOC48 = 2480.0;
+
+}  // namespace
+
+DiGraph abilene() {
+  // Nodes: 0 Seattle, 1 Sunnyvale, 2 Denver, 3 Los Angeles, 4 Houston,
+  // 5 Kansas City, 6 Indianapolis, 7 Atlanta, 8 Chicago, 9 New York,
+  // 10 Washington DC.
+  return build("Abilene", 11,
+               {{0, 1, kOC192},
+                {0, 2, kOC192},
+                {1, 3, kOC192},
+                {1, 2, kOC192},
+                {2, 5, kOC192},
+                {3, 4, kOC192},
+                {4, 5, kOC192},
+                {4, 7, kOC192},
+                {5, 6, kOC192},
+                {6, 7, kOC192},
+                {6, 8, kOC192},
+                {7, 10, kOC192},
+                {8, 9, kOC192},
+                {9, 10, kOC192}});
+}
+
+DiGraph abilene_heterogeneous() {
+  // Same connectivity as abilene(); OC-192 through the continental core,
+  // OC-48 on the coastal/edge links.
+  return build("AbileneHet", 11,
+               {{0, 1, kOC48},
+                {0, 2, kOC48},
+                {1, 3, kOC48},
+                {1, 2, kOC192},
+                {2, 5, kOC192},
+                {3, 4, kOC48},
+                {4, 5, kOC192},
+                {4, 7, kOC48},
+                {5, 6, kOC192},
+                {6, 7, kOC192},
+                {6, 8, kOC192},
+                {7, 10, kOC48},
+                {8, 9, kOC192},
+                {9, 10, kOC48}});
+}
+
+DiGraph nsfnet() {
+  // NSFNET T1 (1991): 0 WA, 1 CA1, 2 CA2, 3 UT, 4 CO, 5 TX, 6 NE, 7 IL,
+  // 8 PA, 9 GA, 10 MI, 11 NY, 12 NJ, 13 DC/MD.
+  return build("Nsfnet", 14,
+               {{0, 1, kOC48},
+                {0, 2, kOC48},
+                {0, 7, kOC48},
+                {1, 2, kOC48},
+                {1, 3, kOC48},
+                {2, 5, kOC48},
+                {3, 4, kOC48},
+                {3, 10, kOC48},
+                {4, 5, kOC48},
+                {4, 6, kOC48},
+                {5, 9, kOC48},
+                {5, 13, kOC48},
+                {6, 7, kOC48},
+                {6, 11, kOC48},
+                {7, 8, kOC48},
+                {8, 11, kOC48},
+                {8, 13, kOC48},
+                {9, 10, kOC48},
+                {10, 12, kOC48},
+                {11, 12, kOC48},
+                {12, 13, kOC48}});
+}
+
+namespace {
+
+// A compact national-research-network shape (CESNET-like), 6 nodes.
+DiGraph small_ring_plus() {
+  return build("SmallRing", 6,
+               {{0, 1, kOC48},
+                {1, 2, kOC48},
+                {2, 3, kOC48},
+                {3, 4, kOC48},
+                {4, 5, kOC48},
+                {5, 0, kOC48},
+                {0, 3, kOC192},
+                {1, 4, kOC48}});
+}
+
+// JANET-like UK academic backbone, 8 nodes.
+DiGraph janet_like() {
+  return build("JanetLike", 8,
+               {{0, 1, kOC192},
+                {0, 2, kOC192},
+                {1, 3, kOC192},
+                {2, 3, kOC192},
+                {2, 4, kOC48},
+                {3, 5, kOC192},
+                {4, 5, kOC48},
+                {4, 6, kOC48},
+                {5, 7, kOC192},
+                {6, 7, kOC48},
+                {1, 6, kOC48}});
+}
+
+// RENATER-like French backbone, 12 nodes with a dense core.
+DiGraph renater_like() {
+  return build("RenaterLike", 12,
+               {{0, 1, kOC192},
+                {0, 2, kOC192},
+                {1, 2, kOC192},
+                {1, 3, kOC192},
+                {2, 4, kOC192},
+                {3, 4, kOC192},
+                {3, 5, kOC48},
+                {4, 6, kOC48},
+                {5, 6, kOC48},
+                {5, 7, kOC48},
+                {6, 8, kOC48},
+                {7, 8, kOC48},
+                {7, 9, kOC48},
+                {8, 10, kOC48},
+                {9, 10, kOC48},
+                {9, 11, kOC48},
+                {10, 11, kOC48}});
+}
+
+// GARR-like Italian backbone, 16 nodes.
+DiGraph garr_like() {
+  return build("GarrLike", 16,
+               {{0, 1, kOC192},
+                {0, 2, kOC192},
+                {1, 3, kOC192},
+                {2, 3, kOC192},
+                {2, 4, kOC48},
+                {3, 5, kOC192},
+                {4, 5, kOC48},
+                {4, 6, kOC48},
+                {5, 7, kOC192},
+                {6, 7, kOC48},
+                {6, 8, kOC48},
+                {7, 9, kOC192},
+                {8, 9, kOC48},
+                {8, 10, kOC48},
+                {9, 11, kOC192},
+                {10, 11, kOC48},
+                {10, 12, kOC48},
+                {11, 13, kOC192},
+                {12, 13, kOC48},
+                {12, 14, kOC48},
+                {13, 15, kOC192},
+                {14, 15, kOC48}});
+}
+
+// SANET-like 18-node chain-with-chords backbone.
+DiGraph sanet_like() {
+  std::vector<Link> links;
+  for (int i = 0; i + 1 < 18; ++i) {
+    links.push_back({i, i + 1, kOC48});
+  }
+  links.push_back({17, 0, kOC48});
+  links.push_back({0, 9, kOC192});
+  links.push_back({4, 13, kOC192});
+  links.push_back({2, 7, kOC48});
+  links.push_back({11, 16, kOC48});
+  return build("SanetLike", 18, links);
+}
+
+// GEANT-like pan-European backbone, 22 nodes with mesh core.
+DiGraph geant_like() {
+  return build("GeantLike", 22,
+               {{0, 1, kOC192},  {0, 2, kOC192},  {1, 3, kOC192},
+                {1, 4, kOC192},  {2, 4, kOC192},  {2, 5, kOC48},
+                {3, 6, kOC192},  {4, 6, kOC192},  {4, 7, kOC192},
+                {5, 7, kOC48},   {5, 8, kOC48},   {6, 9, kOC192},
+                {7, 9, kOC192},  {7, 10, kOC48},  {8, 10, kOC48},
+                {9, 11, kOC192}, {10, 11, kOC48}, {10, 12, kOC48},
+                {11, 13, kOC192}, {12, 13, kOC48}, {12, 14, kOC48},
+                {13, 15, kOC192}, {14, 15, kOC48}, {14, 16, kOC48},
+                {15, 17, kOC192}, {16, 17, kOC48}, {16, 18, kOC48},
+                {17, 19, kOC192}, {18, 19, kOC48}, {18, 20, kOC48},
+                {19, 21, kOC192}, {20, 21, kOC48}, {3, 9, kOC192},
+                {6, 13, kOC192},  {9, 15, kOC192}, {11, 17, kOC192}});
+}
+
+// ARPANET-like 1972 map, 20 nodes.
+DiGraph arpanet_like() {
+  return build("ArpanetLike", 20,
+               {{0, 1, kOC48},  {1, 2, kOC48},  {2, 3, kOC48},
+                {3, 4, kOC48},  {4, 5, kOC48},  {5, 6, kOC48},
+                {6, 7, kOC48},  {7, 8, kOC48},  {8, 9, kOC48},
+                {9, 10, kOC48}, {10, 11, kOC48}, {11, 12, kOC48},
+                {12, 13, kOC48}, {13, 14, kOC48}, {14, 15, kOC48},
+                {15, 16, kOC48}, {16, 17, kOC48}, {17, 18, kOC48},
+                {18, 19, kOC48}, {19, 0, kOC48},  {0, 10, kOC48},
+                {3, 13, kOC48},  {5, 15, kOC48},  {8, 18, kOC48},
+                {2, 7, kOC48},   {12, 17, kOC48}});
+}
+
+// Star-with-ring metro shape, 9 nodes.
+DiGraph metro_like() {
+  return build("MetroLike", 9,
+               {{0, 1, kOC192},
+                {0, 2, kOC192},
+                {0, 3, kOC192},
+                {0, 4, kOC192},
+                {1, 2, kOC48},
+                {2, 3, kOC48},
+                {3, 4, kOC48},
+                {4, 1, kOC48},
+                {1, 5, kOC48},
+                {2, 6, kOC48},
+                {3, 7, kOC48},
+                {4, 8, kOC48},
+                {5, 6, kOC48},
+                {7, 8, kOC48}});
+}
+
+}  // namespace
+
+std::vector<std::string> catalogue_names() {
+  return {"Abilene",   "AbileneHet", "Nsfnet",      "SmallRing",
+          "JanetLike", "RenaterLike", "GarrLike",   "SanetLike",
+          "GeantLike", "ArpanetLike", "MetroLike"};
+}
+
+DiGraph by_name(const std::string& name) {
+  if (name == "Abilene") return abilene();
+  if (name == "AbileneHet") return abilene_heterogeneous();
+  if (name == "Nsfnet") return nsfnet();
+  if (name == "SmallRing") return small_ring_plus();
+  if (name == "JanetLike") return janet_like();
+  if (name == "RenaterLike") return renater_like();
+  if (name == "GarrLike") return garr_like();
+  if (name == "SanetLike") return sanet_like();
+  if (name == "GeantLike") return geant_like();
+  if (name == "ArpanetLike") return arpanet_like();
+  if (name == "MetroLike") return metro_like();
+  throw std::out_of_range("unknown topology: " + name);
+}
+
+std::vector<DiGraph> catalogue_in_size_band(int min_nodes, int max_nodes) {
+  std::vector<DiGraph> out;
+  for (const auto& name : catalogue_names()) {
+    DiGraph g = by_name(name);
+    if (g.num_nodes() >= min_nodes && g.num_nodes() <= max_nodes) {
+      out.push_back(std::move(g));
+    }
+  }
+  return out;
+}
+
+}  // namespace gddr::topo

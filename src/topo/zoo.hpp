@@ -1,0 +1,50 @@
+// Embedded topology catalogue.
+//
+// The paper trains and evaluates on graphs from the Internet Topology Zoo
+// (Knight et al., 2011).  The Zoo ships as GraphML files which this offline
+// environment cannot download, so the topologies used by the experiments are
+// embedded here as adjacency lists (see DESIGN.md §1 for the substitution
+// rationale).  Abilene and NSFNET match the published topologies
+// link-for-link; the remaining entries are real-topology-shaped networks in
+// the size band the paper uses for generalisation (between half and double
+// the size of Abilene).
+//
+// All links are bidirectional (two directed edges with equal capacity), as
+// in the Zoo data.  Capacities use a common unit (Mbps-like); note that the
+// evaluation metric U_max_agent / U_max_optimal is invariant to uniform
+// capacity scaling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace gddr::topo {
+
+// The Abilene research backbone: 11 PoPs, 14 bidirectional links.
+graph::DiGraph abilene();
+
+// Abilene topology with heterogeneous capacities: OC-192 on the core
+// links, OC-48 on the edge links.  The real Abilene ran uniform 10G
+// links; this variant exists because at reduced training budgets the
+// uniform-capacity network offers learning signal only through demand
+// conditioning (a 500k-step problem, per the paper), while capacity
+// heterogeneity makes capacity-aware routing learnable in minutes.  The
+// figure benches use it by default and document the substitution.
+graph::DiGraph abilene_heterogeneous();
+
+// NSFNET T1 backbone (1991): 14 nodes, 21 bidirectional links.
+graph::DiGraph nsfnet();
+
+// Names of all catalogue topologies (including the two above).
+std::vector<std::string> catalogue_names();
+
+// Fetch by name; throws std::out_of_range for unknown names.
+graph::DiGraph by_name(const std::string& name);
+
+// All topologies whose node count lies in [min_nodes, max_nodes].
+std::vector<graph::DiGraph> catalogue_in_size_band(int min_nodes,
+                                                   int max_nodes);
+
+}  // namespace gddr::topo

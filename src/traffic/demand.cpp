@@ -1,0 +1,80 @@
+#include "traffic/demand.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gddr::traffic {
+
+DemandMatrix::DemandMatrix(int num_nodes)
+    : n_(num_nodes),
+      data_(static_cast<size_t>(num_nodes) * static_cast<size_t>(num_nodes),
+            0.0) {
+  if (num_nodes < 0) throw std::invalid_argument("negative node count");
+}
+
+void DemandMatrix::set(int s, int t, double demand) {
+  if (s < 0 || s >= n_ || t < 0 || t >= n_) {
+    throw std::out_of_range("DemandMatrix::set: index out of range");
+  }
+  if (s == t) throw std::invalid_argument("DemandMatrix: diagonal demand");
+  if (demand < 0.0) throw std::invalid_argument("DemandMatrix: negative");
+  data_[static_cast<size_t>(s) * static_cast<size_t>(n_) +
+        static_cast<size_t>(t)] = demand;
+}
+
+double DemandMatrix::out_sum(int s) const {
+  double sum = 0.0;
+  for (int t = 0; t < n_; ++t) sum += at(s, t);
+  return sum;
+}
+
+double DemandMatrix::in_sum(int t) const {
+  double sum = 0.0;
+  for (int s = 0; s < n_; ++s) sum += at(s, t);
+  return sum;
+}
+
+double DemandMatrix::total() const {
+  double sum = 0.0;
+  for (double d : data_) sum += d;
+  return sum;
+}
+
+double DemandMatrix::max_entry() const {
+  double best = 0.0;
+  for (double d : data_) best = std::max(best, d);
+  return best;
+}
+
+DemandMatrix DemandMatrix::scaled(double factor) const {
+  if (factor < 0.0) throw std::invalid_argument("negative scale factor");
+  DemandMatrix out(n_);
+  for (int s = 0; s < n_; ++s) {
+    for (int t = 0; t < n_; ++t) {
+      if (s != t) out.set(s, t, at(s, t) * factor);
+    }
+  }
+  return out;
+}
+
+DemandMatrix mean_matrix(const DemandSequence& seq) {
+  if (seq.empty()) return DemandMatrix(0);
+  const int n = seq.front().num_nodes();
+  DemandMatrix out(n);
+  for (int s = 0; s < n; ++s) {
+    for (int t = 0; t < n; ++t) {
+      if (s == t) continue;
+      double sum = 0.0;
+      for (const auto& dm : seq) {
+        if (dm.num_nodes() != n) {
+          throw std::invalid_argument("mean_matrix: size mismatch");
+        }
+        sum += dm.at(s, t);
+      }
+      out.set(s, t, sum / static_cast<double>(seq.size()));
+    }
+  }
+  return out;
+}
+
+}  // namespace gddr::traffic

@@ -1,0 +1,49 @@
+// Demand matrices (paper §IV-A): D in R^{|V| x |V|}, D[s][t] is the traffic
+// demand from source s to destination t.  The diagonal is always zero.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gddr::traffic {
+
+class DemandMatrix {
+ public:
+  DemandMatrix() = default;
+  explicit DemandMatrix(int num_nodes);
+
+  int num_nodes() const { return n_; }
+
+  double at(int s, int t) const {
+    return data_[static_cast<size_t>(s) * static_cast<size_t>(n_) +
+                 static_cast<size_t>(t)];
+  }
+  // Setting a diagonal element or a negative demand is a programming error
+  // and throws.
+  void set(int s, int t, double demand);
+
+  // Row sum: total demand originating at s (paper Eq. 4 first component).
+  double out_sum(int s) const;
+  // Column sum: total demand destined to t (paper Eq. 4 second component).
+  double in_sum(int t) const;
+  // Sum of all demands.
+  double total() const;
+  // Largest single demand.
+  double max_entry() const;
+
+  DemandMatrix scaled(double factor) const;
+
+  const std::vector<double>& raw() const { return data_; }
+
+ private:
+  int n_ = 0;
+  std::vector<double> data_;
+};
+
+// A sequence of demand matrices, one per environment timestep.
+using DemandSequence = std::vector<DemandMatrix>;
+
+// Element-wise mean of a sequence (all matrices must share a size).
+DemandMatrix mean_matrix(const DemandSequence& seq);
+
+}  // namespace gddr::traffic

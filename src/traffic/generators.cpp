@@ -1,0 +1,117 @@
+#include "traffic/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gddr::traffic {
+
+DemandMatrix bimodal_matrix(int num_nodes, const BimodalParams& params,
+                            util::Rng& rng) {
+  if (params.elephant_prob < 0.0 || params.elephant_prob > 1.0 ||
+      params.pair_density < 0.0 || params.pair_density > 1.0) {
+    throw std::invalid_argument("bimodal_matrix: probability out of range");
+  }
+  DemandMatrix dm(num_nodes);
+  for (int s = 0; s < num_nodes; ++s) {
+    for (int t = 0; t < num_nodes; ++t) {
+      if (s == t) continue;
+      if (params.pair_density < 1.0 && !rng.bernoulli(params.pair_density)) {
+        continue;
+      }
+      const bool elephant = rng.bernoulli(params.elephant_prob);
+      const double draw =
+          elephant ? rng.normal(params.elephant_mean, params.elephant_stddev)
+                   : rng.normal(params.mouse_mean, params.mouse_stddev);
+      dm.set(s, t, std::max(0.0, draw));
+    }
+  }
+  return dm;
+}
+
+DemandSequence cyclical_bimodal_sequence(int num_nodes, int length,
+                                         int cycle_length,
+                                         const BimodalParams& params,
+                                         util::Rng& rng) {
+  if (length < 0 || cycle_length <= 0) {
+    throw std::invalid_argument("cyclical sequence: bad lengths");
+  }
+  DemandSequence cycle;
+  cycle.reserve(static_cast<size_t>(cycle_length));
+  for (int i = 0; i < cycle_length; ++i) {
+    cycle.push_back(bimodal_matrix(num_nodes, params, rng));
+  }
+  DemandSequence out;
+  out.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    out.push_back(cycle[static_cast<size_t>(i % cycle_length)]);
+  }
+  return out;
+}
+
+DemandMatrix gravity_matrix(int num_nodes, const GravityParams& params,
+                            util::Rng& rng) {
+  DemandMatrix dm(num_nodes);
+  if (num_nodes < 2) return dm;
+  std::vector<double> mass(static_cast<size_t>(num_nodes));
+  double mass_total = 0.0;
+  for (double& m : mass) {
+    m = -std::log(std::max(1e-12, 1.0 - rng.uniform()));  // Exp(1)
+    mass_total += m;
+  }
+  // Un-normalised gravity weights sum; scale so mean entry = mean_demand.
+  double weight_sum = 0.0;
+  for (int s = 0; s < num_nodes; ++s) {
+    for (int t = 0; t < num_nodes; ++t) {
+      if (s != t) {
+        weight_sum += mass[static_cast<size_t>(s)] *
+                      mass[static_cast<size_t>(t)];
+      }
+    }
+  }
+  const double pairs =
+      static_cast<double>(num_nodes) * static_cast<double>(num_nodes - 1);
+  const double scale =
+      weight_sum > 0.0 ? params.mean_demand * pairs / weight_sum : 0.0;
+  for (int s = 0; s < num_nodes; ++s) {
+    for (int t = 0; t < num_nodes; ++t) {
+      if (s != t) {
+        dm.set(s, t,
+               scale * mass[static_cast<size_t>(s)] *
+                   mass[static_cast<size_t>(t)]);
+      }
+    }
+  }
+  return dm;
+}
+
+DemandSequence cyclical_gravity_sequence(int num_nodes, int length,
+                                         int cycle_length,
+                                         const GravityParams& params,
+                                         util::Rng& rng) {
+  if (length < 0 || cycle_length <= 0) {
+    throw std::invalid_argument("cyclical sequence: bad lengths");
+  }
+  DemandSequence cycle;
+  cycle.reserve(static_cast<size_t>(cycle_length));
+  for (int i = 0; i < cycle_length; ++i) {
+    cycle.push_back(gravity_matrix(num_nodes, params, rng));
+  }
+  DemandSequence out;
+  out.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    out.push_back(cycle[static_cast<size_t>(i % cycle_length)]);
+  }
+  return out;
+}
+
+DemandSequence normalise_peak_total(DemandSequence seq, double target_total) {
+  double peak = 0.0;
+  for (const auto& dm : seq) peak = std::max(peak, dm.total());
+  if (peak <= 0.0) return seq;
+  const double factor = target_total / peak;
+  for (auto& dm : seq) dm = dm.scaled(factor);
+  return seq;
+}
+
+}  // namespace gddr::traffic

@@ -1,0 +1,44 @@
+// Streaming statistics accumulators used by benches and evaluation loops.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gddr::util {
+
+// Welford online mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Half-width of an approximate 95% confidence interval on the mean.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample set (linear interpolation between order statistics).
+// `p` in [0, 100].  Returns 0 for an empty sample.
+double percentile(std::vector<double> samples, double p);
+
+// Arithmetic mean of a vector (0 for empty input).
+double mean_of(const std::vector<double>& v);
+
+// Simple moving average smoothing with the given window (used for learning
+// curves).  Window is clamped to the series length.
+std::vector<double> moving_average(const std::vector<double>& v,
+                                   std::size_t window);
+
+}  // namespace gddr::util

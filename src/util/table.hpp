@@ -1,0 +1,35 @@
+// Fixed-width ASCII table printing for bench harness output.
+//
+// Benches print the same rows/series the paper's figures plot; a uniform
+// table format keeps bench output diffable and easy to copy into
+// EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gddr::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Add a row; each cell is already formatted.  Row length must match the
+  // header length.
+  void add_row(std::vector<std::string> cells);
+
+  // Render with column widths fitted to content.
+  std::string to_string() const;
+
+  // Render to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format a double with fixed precision (default 4 digits).
+std::string fmt(double x, int precision = 4);
+
+}  // namespace gddr::util

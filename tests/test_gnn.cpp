@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/graph_net.hpp"
+#include "nn/optimizer.hpp"
+#include "topo/zoo.hpp"
+#include "util/rng.hpp"
+
+namespace gddr::gnn {
+namespace {
+
+using nn::Tape;
+using nn::Tensor;
+using Var = Tape::Var;
+
+GraphSpec line_graph() {
+  // 0 -> 1 -> 2
+  GraphSpec spec;
+  spec.num_nodes = 3;
+  spec.senders = {0, 1};
+  spec.receivers = {1, 2};
+  return spec;
+}
+
+GraphVars make_vars(Tape& tape, const GraphSpec& spec, int node_dim,
+                    int edge_dim, int global_dim, util::Rng& rng) {
+  Tensor nodes(spec.num_nodes, node_dim);
+  Tensor edges(spec.num_edges(), edge_dim);
+  Tensor globals(1, global_dim);
+  for (float& v : nodes.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  for (float& v : edges.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  for (float& v : globals.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  return GraphVars{tape.constant(nodes), tape.constant(edges),
+                   tape.constant(globals)};
+}
+
+TEST(GraphSpec, FromDiGraph) {
+  const auto g = topo::abilene();
+  const GraphSpec spec = GraphSpec::from(g);
+  EXPECT_EQ(spec.num_nodes, 11);
+  EXPECT_EQ(spec.num_edges(), 28);
+  for (int e = 0; e < spec.num_edges(); ++e) {
+    EXPECT_EQ(spec.senders[static_cast<size_t>(e)], g.edge(e).src);
+    EXPECT_EQ(spec.receivers[static_cast<size_t>(e)], g.edge(e).dst);
+  }
+}
+
+TEST(GnBlock, OutputShapes) {
+  util::Rng rng(1);
+  GnBlockConfig cfg;
+  cfg.node_in = 2;
+  cfg.edge_in = 1;
+  cfg.global_in = 1;
+  cfg.node_out = 5;
+  cfg.edge_out = 4;
+  cfg.global_out = 3;
+  GnBlock block(cfg, rng);
+  Tape tape;
+  const GraphSpec spec = line_graph();
+  const GraphVars in = make_vars(tape, spec, 2, 1, 1, rng);
+  const GraphVars out = block.forward(tape, spec, in);
+  EXPECT_EQ(tape.value(out.nodes).rows(), 3);
+  EXPECT_EQ(tape.value(out.nodes).cols(), 5);
+  EXPECT_EQ(tape.value(out.edges).rows(), 2);
+  EXPECT_EQ(tape.value(out.edges).cols(), 4);
+  EXPECT_EQ(tape.value(out.globals).rows(), 1);
+  EXPECT_EQ(tape.value(out.globals).cols(), 3);
+}
+
+TEST(GnBlock, ShapeMismatchThrows) {
+  util::Rng rng(2);
+  GnBlockConfig cfg;
+  cfg.node_in = 2;
+  GnBlock block(cfg, rng);
+  Tape tape;
+  const GraphSpec spec = line_graph();
+  const GraphVars bad = make_vars(tape, spec, 3, 1, 1, rng);  // node_dim 3
+  EXPECT_THROW(block.forward(tape, spec, bad), std::invalid_argument);
+}
+
+TEST(GnBlock, ParameterCountIndependentOfGraphSize) {
+  util::Rng rng(3);
+  GnBlockConfig cfg;
+  GnBlock block(cfg, rng);
+  const std::size_t count = block.num_parameters();
+  // Forward on two very different graphs uses the same parameters — the
+  // central generalisation claim of the paper (§IX).
+  for (const auto& name : {"SmallRing", "GeantLike"}) {
+    Tape tape;
+    const GraphSpec spec = GraphSpec::from(topo::by_name(name));
+    const GraphVars in = make_vars(tape, spec, cfg.node_in, cfg.edge_in,
+                                   cfg.global_in, rng);
+    const GraphVars out = block.forward(tape, spec, in);
+    EXPECT_EQ(tape.value(out.nodes).rows(), spec.num_nodes);
+  }
+  EXPECT_EQ(block.num_parameters(), count);
+}
+
+TEST(GnBlock, MessagePassingPropagatesInformation) {
+  // Changing node 0's input must change node 1's output (0 -> 1 edge) in a
+  // single block, and node 2's only after two applications.
+  util::Rng rng(4);
+  GnBlockConfig cfg;
+  cfg.node_in = 1;
+  cfg.edge_in = 1;
+  cfg.global_in = 1;
+  cfg.node_out = 1;
+  cfg.edge_out = 1;
+  cfg.global_out = 1;
+  GnBlock block(cfg, rng);
+  const GraphSpec spec = line_graph();
+
+  auto run = [&](float node0_feat) {
+    Tape tape;
+    Tensor nodes(3, 1);
+    nodes.at(0, 0) = node0_feat;
+    nodes.at(1, 0) = 0.3F;
+    nodes.at(2, 0) = -0.2F;
+    const GraphVars in{tape.constant(nodes), tape.constant(Tensor(2, 1)),
+                       tape.constant(Tensor(1, 1))};
+    const GraphVars out = block.forward(tape, spec, in);
+    return std::pair<float, float>{tape.value(out.nodes).at(1, 0),
+                                   tape.value(out.nodes).at(2, 0)};
+  };
+  const auto [n1_a, n2_a] = run(0.9F);
+  const auto [n1_b, n2_b] = run(-0.9F);
+  EXPECT_NE(n1_a, n1_b) << "neighbour must see the change";
+  // Node 2 sees node 0 only through the global attribute path in one step;
+  // with the global update included the value may change, so we don't
+  // assert equality here — only that the direct neighbour changed.
+}
+
+TEST(GnBlock, PermutationEquivariance) {
+  // Relabelling the nodes (and renumbering senders/receivers accordingly)
+  // must permute node outputs and leave edge outputs unchanged.
+  util::Rng rng(5);
+  GnBlockConfig cfg;
+  cfg.node_in = 2;
+  cfg.edge_in = 1;
+  cfg.global_in = 1;
+  cfg.node_out = 3;
+  cfg.edge_out = 3;
+  cfg.global_out = 3;
+  GnBlock block(cfg, rng);
+
+  GraphSpec spec;
+  spec.num_nodes = 4;
+  spec.senders = {0, 1, 2, 3};
+  spec.receivers = {1, 2, 3, 0};
+
+  util::Rng frng(6);
+  Tensor nodes(4, 2);
+  for (float& v : nodes.data()) v = static_cast<float>(frng.uniform(-1, 1));
+  Tensor edges(4, 1);
+  for (float& v : edges.data()) v = static_cast<float>(frng.uniform(-1, 1));
+  Tensor globals(1, 1, 0.5F);
+
+  // Permutation pi: old -> new.
+  const std::vector<int> pi{2, 0, 3, 1};
+  GraphSpec pspec;
+  pspec.num_nodes = 4;
+  for (int e = 0; e < 4; ++e) {
+    pspec.senders.push_back(pi[static_cast<size_t>(spec.senders[static_cast<size_t>(e)])]);
+    pspec.receivers.push_back(
+        pi[static_cast<size_t>(spec.receivers[static_cast<size_t>(e)])]);
+  }
+  Tensor pnodes(4, 2);
+  for (int v = 0; v < 4; ++v) {
+    for (int c = 0; c < 2; ++c) {
+      pnodes.at(pi[static_cast<size_t>(v)], c) = nodes.at(v, c);
+    }
+  }
+
+  Tape t1;
+  const GraphVars out1 = block.forward(
+      t1, spec,
+      GraphVars{t1.constant(nodes), t1.constant(edges),
+                t1.constant(globals)});
+  Tape t2;
+  const GraphVars out2 = block.forward(
+      t2, pspec,
+      GraphVars{t2.constant(pnodes), t2.constant(edges),
+                t2.constant(globals)});
+
+  for (int e = 0; e < 4; ++e) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(t1.value(out1.edges).at(e, c),
+                  t2.value(out2.edges).at(e, c), 1e-5);
+    }
+  }
+  for (int v = 0; v < 4; ++v) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(t1.value(out1.nodes).at(v, c),
+                  t2.value(out2.nodes).at(pi[static_cast<size_t>(v)], c),
+                  1e-5);
+    }
+  }
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(t1.value(out1.globals).at(0, c),
+                t2.value(out2.globals).at(0, c), 1e-5);
+  }
+}
+
+TEST(IndependentBlock, NoCrossNodeMixing) {
+  util::Rng rng(7);
+  IndependentConfig cfg;
+  cfg.node_in = 1;
+  cfg.edge_in = 1;
+  cfg.global_in = 1;
+  cfg.node_out = 2;
+  cfg.edge_out = 2;
+  cfg.global_out = 2;
+  IndependentBlock block(cfg, rng);
+  auto run = [&](float node0) {
+    Tape tape;
+    Tensor nodes(2, 1);
+    nodes.at(0, 0) = node0;
+    nodes.at(1, 0) = 0.4F;
+    const GraphVars out = block.forward(
+        tape, GraphVars{tape.constant(nodes), tape.constant(Tensor(1, 1)),
+                        tape.constant(Tensor(1, 1))});
+    return tape.value(out.nodes).at(1, 0);
+  };
+  EXPECT_FLOAT_EQ(run(1.0F), run(-1.0F));
+}
+
+TEST(EncodeProcessDecode, OutputShapesMatchConfig) {
+  util::Rng rng(8);
+  EncodeProcessDecodeConfig cfg;
+  cfg.node_in = 10;
+  cfg.edge_in = 3;
+  cfg.global_in = 1;
+  cfg.node_out = 1;
+  cfg.edge_out = 1;
+  cfg.global_out = 2;
+  EncodeProcessDecode net(cfg, rng);
+  Tape tape;
+  const GraphSpec spec = GraphSpec::from(topo::abilene());
+  const GraphVars in = make_vars(tape, spec, 10, 3, 1, rng);
+  const GraphVars out = net.forward(tape, spec, in);
+  EXPECT_EQ(tape.value(out.edges).rows(), 28);
+  EXPECT_EQ(tape.value(out.edges).cols(), 1);
+  EXPECT_EQ(tape.value(out.globals).cols(), 2);
+}
+
+TEST(EncodeProcessDecode, MoreStepsReachFurther) {
+  // On a 5-node path graph, information from node 0 reaches node 4 only
+  // with enough message-passing steps.
+  util::Rng rng(9);
+  EncodeProcessDecodeConfig cfg;
+  cfg.node_in = 1;
+  cfg.edge_in = 1;
+  cfg.global_in = 1;
+  cfg.node_out = 1;
+  cfg.steps = 1;
+  // Use a graph with NO global shortcut: impossible — the GN global
+  // aggregates everything in one step.  Instead verify steps change the
+  // function: different step counts give different outputs.
+  EncodeProcessDecode one(cfg, rng);
+  util::Rng rng2(9);
+  cfg.steps = 4;
+  EncodeProcessDecode four(cfg, rng2);  // same init sequence
+  const GraphSpec spec = line_graph();
+  util::Rng frng(10);
+  Tape t1;
+  const GraphVars in1 = make_vars(t1, spec, 1, 1, 1, frng);
+  const GraphVars o1 = one.forward(t1, spec, in1);
+  util::Rng frng2(10);
+  Tape t2;
+  const GraphVars in2 = make_vars(t2, spec, 1, 1, 1, frng2);
+  const GraphVars o2 = four.forward(t2, spec, in2);
+  EXPECT_NE(t1.value(o1.nodes).at(2, 0), t2.value(o2.nodes).at(2, 0));
+}
+
+TEST(EncodeProcessDecode, BadStepsThrows) {
+  util::Rng rng(11);
+  EncodeProcessDecodeConfig cfg;
+  cfg.steps = 0;
+  EXPECT_THROW(EncodeProcessDecode(cfg, rng), std::invalid_argument);
+}
+
+TEST(EncodeProcessDecode, GradientsReachAllParameters) {
+  util::Rng rng(12);
+  EncodeProcessDecodeConfig cfg;
+  cfg.node_in = 2;
+  cfg.edge_in = 1;
+  cfg.global_in = 1;
+  cfg.latent = 8;
+  cfg.steps = 2;
+  EncodeProcessDecode net(cfg, rng);
+  const auto params = net.parameters();
+  Tape tape;
+  const GraphSpec spec = GraphSpec::from(topo::abilene());
+  const GraphVars in = make_vars(tape, spec, 2, 1, 1, rng);
+  const GraphVars out = net.forward(tape, spec, in);
+  const Var loss = tape.add(
+      tape.sum_all(tape.square(out.edges)),
+      tape.add(tape.sum_all(tape.square(out.nodes)),
+               tape.sum_all(tape.square(out.globals))));
+  nn::zero_grads(params);
+  tape.backward(loss);
+  int zero_grad_params = 0;
+  for (const auto* p : params) {
+    if (p->grad.squared_norm() == 0.0) ++zero_grad_params;
+  }
+  // Every MLP weight matrix should receive gradient (biases of dead relu
+  // units can be zero, so allow a small number of zero-grad tensors).
+  EXPECT_LE(zero_grad_params, static_cast<int>(params.size()) / 4);
+}
+
+TEST(EncodeProcessDecode, LearnsEdgeSumTask) {
+  // Supervised toy task: edge target = sum of endpoint node features.
+  // The GNN must drive the loss down by an order of magnitude.
+  util::Rng rng(13);
+  EncodeProcessDecodeConfig cfg;
+  cfg.node_in = 1;
+  cfg.edge_in = 1;
+  cfg.global_in = 1;
+  cfg.latent = 16;
+  cfg.steps = 2;
+  EncodeProcessDecode net(cfg, rng);
+  nn::Adam adam(0.01);
+  const auto params = net.parameters();
+  const GraphSpec spec = GraphSpec::from(topo::abilene());
+
+  util::Rng data_rng(14);
+  double first = 0.0;
+  double last = 0.0;
+  for (int iter = 0; iter < 300; ++iter) {
+    Tensor nodes(spec.num_nodes, 1);
+    for (float& v : nodes.data()) {
+      v = static_cast<float>(data_rng.uniform(-1, 1));
+    }
+    Tensor target(spec.num_edges(), 1);
+    for (int e = 0; e < spec.num_edges(); ++e) {
+      target.at(e, 0) =
+          nodes.at(spec.senders[static_cast<size_t>(e)], 0) +
+          nodes.at(spec.receivers[static_cast<size_t>(e)], 0);
+    }
+    Tape tape;
+    const GraphVars out = net.forward(
+        tape, spec,
+        GraphVars{tape.constant(nodes),
+                  tape.constant(Tensor(spec.num_edges(), 1)),
+                  tape.constant(Tensor(1, 1))});
+    const Var loss = tape.mean_all(
+        tape.square(tape.sub(out.edges, tape.constant(target))));
+    nn::zero_grads(params);
+    tape.backward(loss);
+    adam.step(params);
+    const double l = tape.value(loss).at(0, 0);
+    if (iter == 0) first = l;
+    last = l;
+  }
+  EXPECT_LT(last, first / 10.0);
+}
+
+TEST(EncodeProcessDecode, SameModelRunsOnDifferentTopologies) {
+  // The paper's transfer property: one parameter set, many graphs.
+  util::Rng rng(15);
+  EncodeProcessDecodeConfig cfg;
+  cfg.node_in = 2;
+  EncodeProcessDecode net(cfg, rng);
+  for (const auto& name : topo::catalogue_names()) {
+    const GraphSpec spec = GraphSpec::from(topo::by_name(name));
+    Tape tape;
+    util::Rng frng(16);
+    const GraphVars in = make_vars(tape, spec, 2, 1, 1, frng);
+    const GraphVars out = net.forward(tape, spec, in);
+    EXPECT_EQ(tape.value(out.edges).rows(), spec.num_edges()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace gddr::gnn

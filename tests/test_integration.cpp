@@ -1,0 +1,262 @@
+// End-to-end integration tests: the full GDDR stack — scenario generation,
+// environment, policies, PPO — run together exactly as the benches use
+// them, at reduced scale.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/evaluate.hpp"
+#include "core/iterative_env.hpp"
+#include "core/policies.hpp"
+#include "core/routing_env.hpp"
+#include "rl/ppo.hpp"
+#include "topo/zoo.hpp"
+
+namespace gddr::core {
+namespace {
+
+ScenarioParams tiny_params() {
+  ScenarioParams p;
+  p.sequence_length = 12;
+  p.cycle_length = 4;
+  p.train_sequences = 2;
+  p.test_sequences = 1;
+  return p;
+}
+
+rl::PpoConfig fast_ppo() {
+  rl::PpoConfig cfg;
+  cfg.rollout_steps = 64;
+  cfg.minibatch_size = 32;
+  cfg.epochs = 3;
+  cfg.learning_rate = 1e-3;
+  cfg.reward_scale = 0.2;
+  return cfg;
+}
+
+TEST(Integration, MlpPolicyTrainsOnFixedGraph) {
+  util::Rng rng(1);
+  std::vector<Scenario> scenarios{
+      make_scenario(topo::by_name("SmallRing"), tiny_params(), rng)};
+  EnvConfig env_cfg;
+  env_cfg.memory = 3;
+  RoutingEnv env(scenarios, env_cfg, 7);
+
+  const int n = env.current_graph().num_nodes();
+  const int obs_dim = env_cfg.memory * n * n;
+  util::Rng prng(2);
+  MlpPolicyConfig pcfg;
+  pcfg.pi_hidden = {64};
+  pcfg.vf_hidden = {64};
+  MlpPolicy policy(obs_dim, env.current_graph().num_edges(), pcfg, prng);
+
+  rl::PpoTrainer trainer(policy, env, fast_ppo(), 3);
+  double first = 0.0;
+  double last = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const auto stats = trainer.train_iteration();
+    if (i == 0) first = stats.mean_episode_reward;
+    if (stats.episodes > 0) last = stats.mean_episode_reward;
+  }
+  EXPECT_LT(first, 0.0);
+  EXPECT_LT(last, 0.0);
+  // Training must not diverge badly.
+  EXPECT_GT(last, first * 2.0);
+
+  const EvalResult eval = evaluate_policy(trainer, env);
+  EXPECT_EQ(eval.episodes, 1);
+  EXPECT_EQ(eval.steps, 9);
+  EXPECT_GE(eval.mean_ratio, 1.0 - 1e-9);
+}
+
+TEST(Integration, GnnPolicyTrainsAndTransfers) {
+  util::Rng rng(4);
+  std::vector<Scenario> train_scenarios{
+      make_scenario(topo::by_name("SmallRing"), tiny_params(), rng)};
+  EnvConfig env_cfg;
+  env_cfg.memory = 3;
+  RoutingEnv env(train_scenarios, env_cfg, 9);
+
+  util::Rng prng(5);
+  GnnPolicyConfig pcfg;
+  pcfg.memory = 3;
+  pcfg.latent = 8;
+  pcfg.steps = 2;
+  pcfg.mlp_hidden = {16};
+  GnnPolicy policy(pcfg, prng);
+  const std::size_t params_before = policy.num_parameters();
+
+  rl::PpoTrainer trainer(policy, env, fast_ppo(), 11);
+  for (int i = 0; i < 4; ++i) trainer.train_iteration();
+
+  const EvalResult on_train_graph = evaluate_policy(trainer, env);
+  EXPECT_GE(on_train_graph.mean_ratio, 1.0 - 1e-9);
+
+  // Transfer: the SAME policy object evaluates on a different topology
+  // with no retraining and no reconstruction (paper Figure 8 mechanism).
+  util::Rng rng2(6);
+  std::vector<Scenario> other{
+      make_scenario(topo::by_name("JanetLike"), tiny_params(), rng2)};
+  RoutingEnv other_env(other, env_cfg, 13);
+  const EvalResult transferred = evaluate_policy(trainer, other_env);
+  EXPECT_GE(transferred.mean_ratio, 1.0 - 1e-9);
+  EXPECT_LT(transferred.mean_ratio, 10.0);
+  EXPECT_EQ(policy.num_parameters(), params_before);
+}
+
+TEST(Integration, IterativeGnnPolicyTrains) {
+  util::Rng rng(7);
+  std::vector<Scenario> scenarios{
+      make_scenario(topo::by_name("SmallRing"), tiny_params(), rng)};
+  IterativeEnvConfig env_cfg;
+  env_cfg.memory = 3;
+  IterativeRoutingEnv env(scenarios, env_cfg, 17);
+
+  util::Rng prng(8);
+  IterativeGnnPolicyConfig pcfg;
+  pcfg.memory = 3;
+  pcfg.latent = 8;
+  pcfg.steps = 2;
+  pcfg.mlp_hidden = {16};
+  IterativeGnnPolicy policy(pcfg, prng);
+
+  rl::PpoConfig ppo = fast_ppo();
+  ppo.rollout_steps = 160;  // several per-DM episodes (16 micro-steps each)
+  ppo.gamma = 1.0;
+  ppo.gae_lambda = 1.0;
+  rl::PpoTrainer trainer(policy, env, ppo, 19);
+  for (int i = 0; i < 3; ++i) {
+    const auto stats = trainer.train_iteration();
+    EXPECT_EQ(stats.steps, 160);
+  }
+  const EvalResult eval = evaluate_policy(trainer, env);
+  EXPECT_EQ(eval.episodes, 9);  // one per-DM episode each
+  EXPECT_EQ(eval.steps, 9);     // one ratio per DM
+  EXPECT_GE(eval.mean_ratio, 1.0 - 1e-9);
+}
+
+TEST(Integration, MultiTopologyTrainingMixesGraphs) {
+  util::Rng rng(9);
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(
+      make_scenario(topo::by_name("SmallRing"), tiny_params(), rng));
+  scenarios.push_back(
+      make_scenario(topo::by_name("MetroLike"), tiny_params(), rng));
+  EnvConfig env_cfg;
+  env_cfg.memory = 3;
+  RoutingEnv env(scenarios, env_cfg, 21);
+
+  // Across resets in train mode both graphs must appear.
+  std::set<int> seen;
+  for (int i = 0; i < 20; ++i) {
+    env.reset();
+    seen.insert(env.current_graph().num_nodes());
+  }
+  EXPECT_EQ(seen.size(), 2U);
+
+  // A GNN policy trains across the mixture without reconstruction.
+  util::Rng prng(10);
+  GnnPolicyConfig pcfg;
+  pcfg.memory = 3;
+  pcfg.latent = 8;
+  pcfg.steps = 2;
+  pcfg.mlp_hidden = {16};
+  GnnPolicy policy(pcfg, prng);
+  rl::PpoTrainer trainer(policy, env, fast_ppo(), 23);
+  const auto stats = trainer.train_iteration();
+  EXPECT_EQ(stats.steps, 64);
+
+  const EvalResult eval = evaluate_policy(trainer, env);
+  EXPECT_EQ(eval.episodes, 2);  // one per scenario test sequence
+  EXPECT_EQ(eval.steps, 18);
+}
+
+TEST(Integration, HandCraftedWeightsBeatShortestPathOnBottleneck) {
+  // Expressiveness check on an adversarial topology: a thin direct link
+  // next to a fat detour.  Shortest-path routing piles everything onto the
+  // thin link; a weight assignment that penalises it diverts the traffic.
+  // (PPO cannot *learn* this particular shape — the reward is flat in
+  // weight space until the detour enters the routing DAG, a limitation of
+  // softmin translation the paper also observes on some graphs — so this
+  // test drives the environment with explicit actions.)
+  graph::DiGraph g(4, "bottleneck");
+  g.add_bidirectional(0, 3, 100.0);   // thin direct link (e0, e1)
+  g.add_bidirectional(0, 1, 5000.0);  // fat two-hop path
+  g.add_bidirectional(1, 3, 5000.0);
+  g.add_bidirectional(1, 2, 5000.0);
+  g.add_bidirectional(2, 3, 5000.0);
+
+  util::Rng rng(11);
+  ScenarioParams params = tiny_params();
+  params.demand.mouse_mean = 150.0;
+  params.demand.elephant_mean = 300.0;
+  Scenario scenario = make_scenario(std::move(g), params, rng);
+
+  mcf::OptimalCache cache;
+  const EvalResult sp = evaluate_shortest_path({scenario}, 3, cache);
+  EXPECT_GT(sp.mean_ratio, 1.5);
+
+  EnvConfig env_cfg;
+  env_cfg.memory = 3;
+  RoutingEnv env({scenario}, env_cfg, 29);
+  env.set_mode(RoutingEnv::Mode::kTest);
+  env.reset();
+  std::vector<double> action(static_cast<size_t>(env.action_dim()), -1.0);
+  action[0] = 1.0;  // push the thin link's weight to the maximum
+  action[1] = 1.0;
+  double ratio_sum = 0.0;
+  int count = 0;
+  for (;;) {
+    const auto result = env.step(action);
+    ratio_sum += -result.reward;
+    ++count;
+    if (result.done) break;
+  }
+  EXPECT_LT(ratio_sum / count, sp.mean_ratio);
+}
+
+TEST(Integration, PpoLearnsCapacityAwareSplitOnDiamond) {
+  // Smooth learnable scenario: two 2-hop branches whose capacities differ
+  // 4x.  The softmin split shifts continuously with the weight difference,
+  // so bandit-credit PPO (gamma = 0; actions do not influence transitions)
+  // must improve markedly within a few thousand steps.
+  graph::DiGraph g(4, "asym-diamond");
+  g.add_bidirectional(0, 1, 1000.0);
+  g.add_bidirectional(1, 3, 1000.0);
+  g.add_bidirectional(0, 2, 4000.0);
+  g.add_bidirectional(2, 3, 4000.0);
+
+  util::Rng rng(11);
+  ScenarioParams params = tiny_params();
+  params.demand.mouse_mean = 300.0;
+  params.demand.elephant_mean = 900.0;
+  Scenario scenario = make_scenario(std::move(g), params, rng);
+
+  EnvConfig env_cfg;
+  env_cfg.memory = 3;
+  RoutingEnv env({scenario}, env_cfg, 29);
+  util::Rng prng(12);
+  GnnPolicyConfig pcfg;
+  pcfg.memory = 3;
+  pcfg.latent = 8;
+  pcfg.steps = 2;
+  pcfg.mlp_hidden = {16};
+  pcfg.init_log_std = -1.2;
+  GnnPolicy policy(pcfg, prng);
+  rl::PpoConfig ppo;
+  ppo.rollout_steps = 128;
+  ppo.minibatch_size = 32;
+  ppo.epochs = 8;
+  ppo.learning_rate = 1e-2;
+  ppo.entropy_coef = 0.0;
+  ppo.gamma = 0.0;
+  ppo.gae_lambda = 0.0;
+  rl::PpoTrainer trainer(policy, env, ppo, 31);
+  const EvalResult before = evaluate_policy(trainer, env);
+  for (int i = 0; i < 25; ++i) trainer.train_iteration();
+  const EvalResult after = evaluate_policy(trainer, env);
+  EXPECT_LT(after.mean_ratio, before.mean_ratio - 0.1);
+}
+
+}  // namespace
+}  // namespace gddr::core

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace gddr::lp {
+namespace {
+
+TEST(Simplex, TrivialMinimum) {
+  // min x subject to x >= 3  ->  x = 3.
+  LinearProgram prog;
+  const int x = prog.add_variable(1.0);
+  prog.add_constraint({{x, 1.0}}, Relation::kGe, 3.0);
+  const Solution sol = prog.solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-9);
+}
+
+TEST(Simplex, TwoVariableKnownOptimum) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic example).
+  // As minimisation: min -3x - 5y; optimum x=2, y=6, objective -36.
+  LinearProgram prog;
+  const int x = prog.add_variable(-3.0);
+  const int y = prog.add_variable(-5.0);
+  prog.add_constraint({{x, 1.0}}, Relation::kLe, 4.0);
+  prog.add_constraint({{y, 2.0}}, Relation::kLe, 12.0);
+  prog.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLe, 18.0);
+  const Solution sol = prog.solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-7);
+  EXPECT_NEAR(sol.x[static_cast<size_t>(x)], 2.0, 1e-7);
+  EXPECT_NEAR(sol.x[static_cast<size_t>(y)], 6.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y s.t. x + y = 10, x <= 4  ->  x=4, y=6? No: min x+y on the
+  // line x+y=10 is 10 everywhere; check feasibility and objective.
+  LinearProgram prog;
+  const int x = prog.add_variable(1.0);
+  const int y = prog.add_variable(1.0);
+  prog.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 10.0);
+  prog.add_constraint({{x, 1.0}}, Relation::kLe, 4.0);
+  const Solution sol = prog.solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 10.0, 1e-7);
+  EXPECT_NEAR(sol.x[static_cast<size_t>(x)] + sol.x[static_cast<size_t>(y)],
+              10.0, 1e-7);
+  EXPECT_LE(sol.x[static_cast<size_t>(x)], 4.0 + 1e-7);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  // x <= 1 and x >= 2 cannot both hold.
+  LinearProgram prog;
+  const int x = prog.add_variable(1.0);
+  prog.add_constraint({{x, 1.0}}, Relation::kLe, 1.0);
+  prog.add_constraint({{x, 1.0}}, Relation::kGe, 2.0);
+  EXPECT_EQ(prog.solve().status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  // min -x with x only bounded below.
+  LinearProgram prog;
+  const int x = prog.add_variable(-1.0);
+  prog.add_constraint({{x, 1.0}}, Relation::kGe, 0.0);
+  EXPECT_EQ(prog.solve().status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalised) {
+  // min x s.t. -x <= -5  (i.e. x >= 5).
+  LinearProgram prog;
+  const int x = prog.add_variable(1.0);
+  prog.add_constraint({{x, -1.0}}, Relation::kLe, -5.0);
+  const Solution sol = prog.solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 5.0, 1e-9);
+}
+
+TEST(Simplex, DuplicateTermsSummed) {
+  // min x s.t. x + x >= 6 -> x = 3.
+  LinearProgram prog;
+  const int x = prog.add_variable(1.0);
+  prog.add_constraint({{x, 1.0}, {x, 1.0}}, Relation::kGe, 6.0);
+  const Solution sol = prog.solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-9);
+}
+
+TEST(Simplex, UnknownVariableRejected) {
+  LinearProgram prog;
+  prog.add_variable(1.0);
+  EXPECT_THROW(prog.add_constraint({{3, 1.0}}, Relation::kLe, 1.0),
+               std::out_of_range);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic cycling-prone problem (Beale); Bland fallback must terminate.
+  LinearProgram prog;
+  const int x1 = prog.add_variable(-0.75);
+  const int x2 = prog.add_variable(150.0);
+  const int x3 = prog.add_variable(-0.02);
+  const int x4 = prog.add_variable(6.0);
+  prog.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                      Relation::kLe, 0.0);
+  prog.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                      Relation::kLe, 0.0);
+  prog.add_constraint({{x3, 1.0}}, Relation::kLe, 1.0);
+  const Solution sol = prog.solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -0.05, 1e-7);
+}
+
+TEST(Simplex, RedundantConstraintsHandled) {
+  LinearProgram prog;
+  const int x = prog.add_variable(1.0);
+  prog.add_constraint({{x, 1.0}}, Relation::kGe, 2.0);
+  prog.add_constraint({{x, 1.0}}, Relation::kGe, 2.0);  // duplicate
+  prog.add_constraint({{x, 2.0}}, Relation::kGe, 4.0);  // scaled duplicate
+  const Solution sol = prog.solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+}
+
+TEST(Simplex, ZeroObjectiveFeasibilityProblem) {
+  LinearProgram prog;
+  const int x = prog.add_variable(0.0);
+  const int y = prog.add_variable(0.0);
+  prog.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 5.0);
+  const Solution sol = prog.solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[static_cast<size_t>(x)] + sol.x[static_cast<size_t>(y)],
+              5.0, 1e-9);
+}
+
+TEST(Simplex, ToStringCoversAllStatuses) {
+  EXPECT_EQ(to_string(SolveStatus::kOptimal), "optimal");
+  EXPECT_EQ(to_string(SolveStatus::kInfeasible), "infeasible");
+  EXPECT_EQ(to_string(SolveStatus::kUnbounded), "unbounded");
+  EXPECT_EQ(to_string(SolveStatus::kIterationLimit), "iteration-limit");
+}
+
+// Property test: random transportation problems have a known optimum equal
+// to max(total supply needed) when costs are uniform.
+class RandomLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLp, TransportationProblemFeasibleAndBounded) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // 3 suppliers x 4 consumers; balanced supply/demand.
+  const int ns = 3;
+  const int nc = 4;
+  std::vector<double> supply(ns);
+  std::vector<double> demand(nc, 0.0);
+  double total = 0.0;
+  for (auto& s : supply) {
+    s = 1.0 + rng.uniform() * 9.0;
+    total += s;
+  }
+  for (int c = 0; c < nc - 1; ++c) {
+    demand[static_cast<size_t>(c)] = total * rng.uniform() / nc;
+  }
+  double assigned = 0.0;
+  for (int c = 0; c < nc - 1; ++c) assigned += demand[static_cast<size_t>(c)];
+  demand[nc - 1] = total - assigned;
+
+  LinearProgram prog;
+  std::vector<std::vector<int>> x(static_cast<size_t>(ns),
+                                  std::vector<int>(static_cast<size_t>(nc)));
+  for (int s = 0; s < ns; ++s) {
+    for (int c = 0; c < nc; ++c) {
+      x[static_cast<size_t>(s)][static_cast<size_t>(c)] =
+          prog.add_variable(1.0 + rng.uniform());  // random positive costs
+    }
+  }
+  for (int s = 0; s < ns; ++s) {
+    std::vector<std::pair<int, double>> terms;
+    for (int c = 0; c < nc; ++c) {
+      terms.emplace_back(x[static_cast<size_t>(s)][static_cast<size_t>(c)],
+                         1.0);
+    }
+    prog.add_constraint(terms, Relation::kEq, supply[static_cast<size_t>(s)]);
+  }
+  for (int c = 0; c < nc; ++c) {
+    std::vector<std::pair<int, double>> terms;
+    for (int s = 0; s < ns; ++s) {
+      terms.emplace_back(x[static_cast<size_t>(s)][static_cast<size_t>(c)],
+                         1.0);
+    }
+    prog.add_constraint(terms, Relation::kEq, demand[static_cast<size_t>(c)]);
+  }
+  const Solution sol = prog.solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  // Objective bounded by [min_cost * total, max_cost * total].
+  EXPECT_GE(sol.objective, total * 1.0 - 1e-6);
+  EXPECT_LE(sol.objective, total * 2.0 + 1e-6);
+  // All flows non-negative and supplies exactly shipped.
+  for (int s = 0; s < ns; ++s) {
+    double shipped = 0.0;
+    for (int c = 0; c < nc; ++c) {
+      const double v = sol.x[static_cast<size_t>(
+          x[static_cast<size_t>(s)][static_cast<size_t>(c)])];
+      EXPECT_GE(v, -1e-9);
+      shipped += v;
+    }
+    EXPECT_NEAR(shipped, supply[static_cast<size_t>(s)], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLp, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace gddr::lp

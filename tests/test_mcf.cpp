@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "mcf/cache.hpp"
+#include "mcf/fptas.hpp"
+#include "mcf/optimal.hpp"
+#include "topo/generators.hpp"
+#include "topo/zoo.hpp"
+#include "traffic/generators.hpp"
+
+namespace gddr::mcf {
+namespace {
+
+using graph::DiGraph;
+using traffic::DemandMatrix;
+
+DiGraph two_parallel_paths() {
+  // 0 -> 1 directly (capacity 10) and via 2 (capacity 10 each hop).
+  DiGraph g(3);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(0, 2, 10.0);
+  g.add_edge(2, 1, 10.0);
+  return g;
+}
+
+TEST(Optimal, SingleEdgeUtilisation) {
+  DiGraph g(2);
+  g.add_edge(0, 1, 10.0);
+  DemandMatrix dm(2);
+  dm.set(0, 1, 5.0);
+  const OptimalResult r = solve_optimal(g, dm);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.u_max, 0.5, 1e-7);
+}
+
+TEST(Optimal, SplitsAcrossParallelPaths) {
+  // 16 units from 0 to 1; splitting 8/8 gives U = 0.8, all on one path
+  // would give 1.6.  The LP must split.
+  const DiGraph g = two_parallel_paths();
+  DemandMatrix dm(3);
+  dm.set(0, 1, 16.0);
+  const OptimalResult r = solve_optimal(g, dm);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.u_max, 0.8, 1e-7);
+}
+
+TEST(Optimal, OverloadedNetworkExceedsOne) {
+  DiGraph g(2);
+  g.add_edge(0, 1, 10.0);
+  DemandMatrix dm(2);
+  dm.set(0, 1, 25.0);
+  const OptimalResult r = solve_optimal(g, dm);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.u_max, 2.5, 1e-7);
+}
+
+TEST(Optimal, ZeroDemandZeroUtilisation) {
+  const DiGraph g = two_parallel_paths();
+  const OptimalResult r = solve_optimal(g, DemandMatrix(3));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.u_max, 0.0);
+}
+
+TEST(Optimal, FlowConservationHolds) {
+  const DiGraph g = topo::abilene();
+  util::Rng rng(3);
+  const DemandMatrix dm =
+      traffic::bimodal_matrix(g.num_nodes(), traffic::BimodalParams{}, rng);
+  const OptimalResult r = solve_optimal(g, dm);
+  ASSERT_TRUE(r.feasible);
+  // For each destination t and node v != t: net outflow == demand v->t.
+  for (graph::NodeId t = 0; t < g.num_nodes(); ++t) {
+    const auto& flow = r.flow_by_dest[static_cast<size_t>(t)];
+    if (flow.empty()) continue;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == t) continue;
+      double net = 0.0;
+      for (graph::EdgeId e : g.out_edges(v)) {
+        net += flow[static_cast<size_t>(e)];
+      }
+      for (graph::EdgeId e : g.in_edges(v)) {
+        net -= flow[static_cast<size_t>(e)];
+      }
+      EXPECT_NEAR(net, dm.at(v, t), 1e-4);
+    }
+  }
+}
+
+TEST(Optimal, UtilisationConsistentWithFlows) {
+  const DiGraph g = topo::abilene();
+  util::Rng rng(4);
+  const DemandMatrix dm =
+      traffic::bimodal_matrix(g.num_nodes(), traffic::BimodalParams{}, rng);
+  const OptimalResult r = solve_optimal(g, dm);
+  ASSERT_TRUE(r.feasible);
+  const auto util = edge_utilisation(g, r);
+  double max_util = 0.0;
+  for (double u : util) max_util = std::max(max_util, u);
+  EXPECT_NEAR(max_util, r.u_max, 1e-5);
+}
+
+TEST(Optimal, SizeMismatchThrows) {
+  EXPECT_THROW(solve_optimal(two_parallel_paths(), DemandMatrix(5)),
+               std::invalid_argument);
+}
+
+// The destination-aggregated LP must agree with the textbook
+// per-commodity LP (paper §II-A) — the core exactness claim of the
+// aggregation (DESIGN.md §4).
+class AggregationEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggregationEquivalence, MatchesPerCommodityFormulation) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const DiGraph g = topo::erdos_renyi(6, 0.4, rng);
+  traffic::BimodalParams params;
+  params.pair_density = 0.5;
+  const DemandMatrix dm = traffic::bimodal_matrix(6, params, rng);
+  const OptimalResult agg = solve_optimal(g, dm);
+  ASSERT_TRUE(agg.feasible);
+  const double per_commodity = solve_optimal_per_commodity(g, dm);
+  EXPECT_NEAR(agg.u_max, per_commodity, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregationEquivalence,
+                         ::testing::Range(0, 10));
+
+// FPTAS cross-check: 1/max_concurrent_flow approximates the LP optimum.
+class FptasAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(FptasAgreement, WithinGuarantee) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 77);
+  const DiGraph g = topo::erdos_renyi(8, 0.35, rng);
+  const DemandMatrix dm =
+      traffic::bimodal_matrix(8, traffic::BimodalParams{}, rng);
+  const OptimalResult lp = solve_optimal(g, dm);
+  ASSERT_TRUE(lp.feasible);
+  FptasOptions opt;
+  opt.epsilon = 0.05;
+  const double approx = approx_optimal_u_max(g, dm, opt);
+  // approx is an over-estimate of U* within the (1-3eps) guarantee.
+  EXPECT_GE(approx, lp.u_max * (1.0 - 1e-6));
+  EXPECT_LE(approx, lp.u_max / (1.0 - 3.0 * opt.epsilon) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FptasAgreement, ::testing::Range(0, 8));
+
+TEST(Fptas, ZeroDemand) {
+  const DiGraph g = two_parallel_paths();
+  EXPECT_EQ(max_concurrent_flow(g, DemandMatrix(3)), 0.0);
+  EXPECT_EQ(approx_optimal_u_max(g, DemandMatrix(3)), 0.0);
+}
+
+TEST(Fptas, BadEpsilonThrows) {
+  const DiGraph g = two_parallel_paths();
+  DemandMatrix dm(3);
+  dm.set(0, 1, 1.0);
+  FptasOptions opt;
+  opt.epsilon = 0.0;
+  EXPECT_THROW(max_concurrent_flow(g, dm, opt), std::invalid_argument);
+  opt.epsilon = 0.7;
+  EXPECT_THROW(max_concurrent_flow(g, dm, opt), std::invalid_argument);
+}
+
+TEST(Cache, HitsOnRepeatedQueries) {
+  OptimalCache cache;
+  const DiGraph g = topo::abilene();
+  util::Rng rng(9);
+  const DemandMatrix dm =
+      traffic::bimodal_matrix(g.num_nodes(), traffic::BimodalParams{}, rng);
+  const double first = cache.u_max(g, dm);
+  const double second = cache.u_max(g, dm);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(cache.misses(), 1U);
+  EXPECT_EQ(cache.hits(), 1U);
+  EXPECT_EQ(cache.size(), 1U);
+}
+
+TEST(Cache, DistinguishesDemands) {
+  OptimalCache cache;
+  const DiGraph g = two_parallel_paths();
+  DemandMatrix a(3);
+  a.set(0, 1, 4.0);
+  DemandMatrix b(3);
+  b.set(0, 1, 8.0);
+  EXPECT_NE(cache.u_max(g, a), cache.u_max(g, b));
+  EXPECT_EQ(cache.size(), 2U);
+}
+
+TEST(Cache, DistinguishesGraphs) {
+  OptimalCache cache;
+  DemandMatrix dm(3);
+  dm.set(0, 1, 16.0);
+  const DiGraph g1 = two_parallel_paths();
+  DiGraph g2 = two_parallel_paths();
+  g2.add_edge(1, 0, 10.0);  // extra edge changes the fingerprint
+  cache.u_max(g1, dm);
+  cache.u_max(g2, dm);
+  EXPECT_EQ(cache.size(), 2U);
+}
+
+TEST(Cache, ClearResets) {
+  OptimalCache cache;
+  DemandMatrix dm(3);
+  dm.set(0, 1, 1.0);
+  cache.u_max(two_parallel_paths(), dm);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0U);
+  EXPECT_EQ(cache.hits(), 0U);
+  EXPECT_EQ(cache.misses(), 0U);
+}
+
+TEST(Fingerprint, SensitiveToCapacity) {
+  DiGraph a(2);
+  a.add_edge(0, 1, 10.0);
+  DiGraph b(2);
+  b.add_edge(0, 1, 20.0);
+  EXPECT_NE(graph_fingerprint(a), graph_fingerprint(b));
+}
+
+TEST(Fingerprint, SensitiveToDemandValue) {
+  DemandMatrix a(2);
+  a.set(0, 1, 1.0);
+  DemandMatrix b(2);
+  b.set(0, 1, 2.0);
+  EXPECT_NE(demand_fingerprint(a), demand_fingerprint(b));
+}
+
+TEST(Fingerprint, StableAcrossCopies) {
+  const DiGraph g = topo::abilene();
+  const DiGraph copy = g;
+  EXPECT_EQ(graph_fingerprint(g), graph_fingerprint(copy));
+}
+
+}  // namespace
+}  // namespace gddr::mcf

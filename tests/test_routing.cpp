@@ -1,0 +1,641 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "mcf/optimal.hpp"
+#include "routing/baselines.hpp"
+#include "routing/prune.hpp"
+#include "routing/routing.hpp"
+#include "routing/softmin.hpp"
+#include "topo/generators.hpp"
+#include "topo/zoo.hpp"
+#include "traffic/generators.hpp"
+
+namespace gddr::routing {
+namespace {
+
+using graph::DiGraph;
+using graph::EdgeId;
+using graph::NodeId;
+using traffic::DemandMatrix;
+
+DiGraph diamond() {
+  DiGraph g(4);
+  g.add_edge(0, 1, 10.0);  // e0
+  g.add_edge(1, 3, 10.0);  // e1
+  g.add_edge(0, 2, 10.0);  // e2
+  g.add_edge(2, 3, 10.0);  // e3
+  return g;
+}
+
+// ---------------- softmin function ----------------
+
+TEST(Softmin, UniformInputsGiveUniformOutput) {
+  const std::vector<double> x{2.0, 2.0, 2.0, 2.0};
+  const auto out = softmin(x, 3.0);
+  for (double v : out) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(Softmin, SumsToOne) {
+  const std::vector<double> x{1.0, 5.0, 2.5, 0.1};
+  const auto out = softmin(x, 2.0);
+  EXPECT_NEAR(std::accumulate(out.begin(), out.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(Softmin, SmallerInputGetsLargerShare) {
+  const auto out = softmin(std::vector<double>{1.0, 3.0}, 1.0);
+  EXPECT_GT(out[0], out[1]);
+}
+
+TEST(Softmin, GammaSharpens) {
+  const std::vector<double> x{1.0, 2.0};
+  const auto soft = softmin(x, 0.5);
+  const auto sharp = softmin(x, 10.0);
+  EXPECT_GT(sharp[0], soft[0]);
+  EXPECT_GT(sharp[0], 0.99);
+}
+
+TEST(Softmin, MatchesClosedForm) {
+  const std::vector<double> x{0.0, 1.0};
+  const double gamma = 2.0;
+  const auto out = softmin(x, gamma);
+  const double e0 = 1.0;
+  const double e1 = std::exp(-gamma);
+  EXPECT_NEAR(out[0], e0 / (e0 + e1), 1e-9);
+  EXPECT_NEAR(out[1], e1 / (e0 + e1), 1e-9);
+}
+
+TEST(Softmin, NumericallyStableForLargeInputs) {
+  const auto out = softmin(std::vector<double>{1e6, 1e6 + 1.0}, 5.0);
+  EXPECT_TRUE(std::isfinite(out[0]));
+  EXPECT_NEAR(out[0] + out[1], 1.0, 1e-9);
+}
+
+TEST(Softmin, EmptyOrBadGammaThrows) {
+  EXPECT_THROW(softmin(std::vector<double>{}, 1.0), std::invalid_argument);
+  EXPECT_THROW(softmin(std::vector<double>{1.0}, 0.0), std::invalid_argument);
+}
+
+// ---------------- weights_from_actions ----------------
+
+TEST(WeightsFromActions, AffineMapping) {
+  const std::vector<double> actions{-1.0, 0.0, 1.0};
+  const auto w = weights_from_actions(actions, 0.1, 10.0);
+  EXPECT_NEAR(w[0], 0.1, 1e-12);
+  EXPECT_NEAR(w[1], 5.05, 1e-12);
+  EXPECT_NEAR(w[2], 10.0, 1e-12);
+}
+
+TEST(WeightsFromActions, ClampsOutOfRange) {
+  const auto w = weights_from_actions(std::vector<double>{-5.0, 5.0});
+  EXPECT_NEAR(w[0], 0.1, 1e-12);
+  EXPECT_NEAR(w[1], 10.0, 1e-12);
+}
+
+TEST(WeightsFromActions, BadRangeThrows) {
+  EXPECT_THROW(weights_from_actions(std::vector<double>{0.0}, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(weights_from_actions(std::vector<double>{0.0}, 2.0, 1.0),
+               std::invalid_argument);
+}
+
+// ---------------- Routing container & validate ----------------
+
+TEST(Routing, SetAndGetRatios) {
+  Routing r(4, 4);
+  r.set_ratio(0, 3, 0, 0.25);
+  EXPECT_DOUBLE_EQ(r.ratio(0, 3, 0), 0.25);
+  EXPECT_DOUBLE_EQ(r.ratio(0, 3, 1), 0.0);
+}
+
+TEST(Routing, OutOfRangeRatioThrows) {
+  Routing r(4, 4);
+  EXPECT_THROW(r.set_ratio(0, 3, 0, 1.5), std::invalid_argument);
+  EXPECT_THROW(r.set_ratio(0, 3, 0, -0.5), std::invalid_argument);
+}
+
+TEST(Validate, AcceptsShortestPathRouting) {
+  const DiGraph g = topo::abilene();
+  util::Rng rng(1);
+  const DemandMatrix dm =
+      traffic::bimodal_matrix(g.num_nodes(), traffic::BimodalParams{}, rng);
+  std::string error;
+  EXPECT_TRUE(validate(g, shortest_path_routing(g), dm, &error)) << error;
+}
+
+TEST(Validate, RejectsLeakyRouting) {
+  const DiGraph g = diamond();
+  DemandMatrix dm(4);
+  dm.set(0, 3, 1.0);
+  Routing r(4, 4);
+  r.set_ratio(0, 3, 0, 0.5);  // only half the traffic leaves vertex 0
+  r.set_ratio(0, 3, 1, 1.0);
+  std::string error;
+  EXPECT_FALSE(validate(g, r, dm, &error));
+  EXPECT_NE(error.find("sum"), std::string::npos);
+}
+
+TEST(Validate, RejectsForwardingOutOfDestination) {
+  DiGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(1, 0, 1.0);
+  DemandMatrix dm(3);
+  dm.set(0, 1, 1.0);
+  Routing r(3, 3);
+  r.set_ratio(0, 1, 0, 1.0);
+  r.set_ratio(0, 1, 2, 1.0);  // destination 1 forwards back to 0
+  EXPECT_FALSE(validate(g, r, dm, nullptr));
+}
+
+// ---------------- simulate ----------------
+
+TEST(Simulate, SingleFlowSinglePath) {
+  const DiGraph g = diamond();
+  DemandMatrix dm(4);
+  dm.set(0, 3, 5.0);
+  Routing r(4, 4);
+  r.set_ratio(0, 3, 0, 1.0);
+  r.set_ratio(0, 3, 1, 1.0);
+  const auto sim = simulate(g, r, dm);
+  EXPECT_NEAR(sim.u_max, 0.5, 1e-12);
+  EXPECT_NEAR(sim.delivered, 5.0, 1e-12);
+  EXPECT_NEAR(sim.link_load[0], 5.0, 1e-12);
+  EXPECT_NEAR(sim.link_load[2], 0.0, 1e-12);
+}
+
+TEST(Simulate, SplitFlowHalvesUtilisation) {
+  const DiGraph g = diamond();
+  DemandMatrix dm(4);
+  dm.set(0, 3, 8.0);
+  Routing r(4, 4);
+  r.set_ratio(0, 3, 0, 0.5);
+  r.set_ratio(0, 3, 2, 0.5);
+  r.set_ratio(0, 3, 1, 1.0);
+  r.set_ratio(0, 3, 3, 1.0);
+  const auto sim = simulate(g, r, dm);
+  EXPECT_NEAR(sim.u_max, 0.4, 1e-12);
+}
+
+TEST(Simulate, MultiHopCascade) {
+  // Chain 0 -> 1 -> 2 with two flows: (0,2) and (1,2).
+  DiGraph g(3);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 10.0);
+  DemandMatrix dm(3);
+  dm.set(0, 2, 4.0);
+  dm.set(1, 2, 3.0);
+  Routing r(3, 2);
+  r.set_ratio(0, 2, 0, 1.0);
+  r.set_ratio(0, 2, 1, 1.0);
+  r.set_ratio(1, 2, 1, 1.0);
+  const auto sim = simulate(g, r, dm);
+  EXPECT_NEAR(sim.link_load[1], 7.0, 1e-12);
+  EXPECT_NEAR(sim.u_max, 0.7, 1e-12);
+}
+
+TEST(Simulate, LoopRaises) {
+  DiGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 1.0);
+  g.add_edge(1, 2, 1.0);
+  DemandMatrix dm(3);
+  dm.set(0, 2, 1.0);
+  Routing r(3, 3);
+  r.set_ratio(0, 2, 0, 1.0);
+  r.set_ratio(0, 2, 1, 0.5);
+  r.set_ratio(0, 2, 2, 0.5);
+  EXPECT_THROW(simulate(g, r, dm), std::runtime_error);
+}
+
+TEST(Simulate, LostTrafficRaisesInStrictMode) {
+  const DiGraph g = diamond();
+  DemandMatrix dm(4);
+  dm.set(0, 3, 2.0);
+  Routing r(4, 4);
+  r.set_ratio(0, 3, 0, 1.0);  // traffic reaches vertex 1 and stops
+  EXPECT_THROW(simulate(g, r, dm), std::runtime_error);
+  SimulateOptions lax;
+  lax.strict = false;
+  const auto sim = simulate(g, r, dm, lax);
+  EXPECT_NEAR(sim.delivered, 0.0, 1e-12);
+}
+
+TEST(Simulate, ZeroDemandZeroLoad) {
+  const DiGraph g = diamond();
+  const auto sim = simulate(g, Routing(4, 4), DemandMatrix(4));
+  EXPECT_EQ(sim.u_max, 0.0);
+  EXPECT_EQ(sim.delivered, 0.0);
+}
+
+// ---------------- prune_dag (all modes, property suite) ----------------
+
+struct PruneCase {
+  std::string topology;
+  PruneMode mode;
+  int seed;
+};
+
+class PruneProperty : public ::testing::TestWithParam<PruneCase> {};
+
+TEST_P(PruneProperty, DagInvariants) {
+  const auto& param = GetParam();
+  const DiGraph g = topo::by_name(param.topology);
+  util::Rng rng(static_cast<std::uint64_t>(param.seed));
+  std::vector<double> weights(static_cast<size_t>(g.num_edges()));
+  for (auto& w : weights) w = rng.uniform(0.1, 10.0);
+
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (s == t) continue;
+      const auto mask = prune_dag(g, s, t, weights, param.mode);
+      // (1) acyclic
+      EXPECT_FALSE(graph::has_cycle(g, mask))
+          << param.topology << " flow " << s << "->" << t;
+      // (2) t reachable from s within the mask
+      bool s_has_out = false;
+      for (EdgeId e : g.out_edges(s)) {
+        if (mask[static_cast<size_t>(e)]) s_has_out = true;
+      }
+      EXPECT_TRUE(s_has_out) << "source has no outgoing edge in DAG";
+      // (3) every kept edge lies on an s->t path: heads can reach t.
+      std::vector<bool> check = mask;
+      restrict_to_st_paths(g, s, t, check);
+      EXPECT_EQ(check, mask) << "mask contains edges off all s->t paths";
+    }
+  }
+}
+
+std::vector<PruneCase> prune_cases() {
+  std::vector<PruneCase> cases;
+  for (const auto& topology : {"Abilene", "Nsfnet", "SmallRing"}) {
+    for (const PruneMode mode :
+         {PruneMode::kFrontierMeet, PruneMode::kDistanceToSink,
+          PruneMode::kDistanceFromSource}) {
+      for (int seed = 0; seed < 3; ++seed) {
+        cases.push_back({topology, mode, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, PruneProperty,
+                         ::testing::ValuesIn(prune_cases()));
+
+TEST(PruneDag, KeepsMultipathOnDiamond) {
+  const DiGraph g = diamond();
+  const std::vector<double> w(4, 1.0);
+  const auto mask = prune_dag(g, 0, 3, w, PruneMode::kDistanceToSink);
+  EXPECT_TRUE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_TRUE(mask[2]);
+  EXPECT_TRUE(mask[3]);
+}
+
+TEST(PruneDag, DownhillModeRetainsMoreThanShortestPath) {
+  // Abilene with unit weights: count kept edges vs shortest-path edges for
+  // a long flow; the downhill DAG keeps every progress-making edge.
+  const DiGraph g = topo::abilene();
+  const auto w = graph::unit_weights(g);
+  const auto mask = prune_dag(g, 0, 10, w, PruneMode::kDistanceToSink);
+  int kept = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (mask[static_cast<size_t>(e)]) ++kept;
+  }
+  const auto sp = graph::dijkstra(g, 0, w);
+  const auto path = graph::extract_path(g, sp, 0, 10);
+  EXPECT_GT(kept, static_cast<int>(path.size()) - 1);
+}
+
+TEST(PruneDag, FrontierMeetRetainsAtLeastShortestPath) {
+  // With distinct random weights (no distance ties) grafting can engage;
+  // the mask must always contain at least the full shortest path.
+  const DiGraph g = topo::abilene();
+  util::Rng rng(123);
+  std::vector<double> w(static_cast<size_t>(g.num_edges()));
+  for (auto& x : w) x = rng.uniform(0.5, 5.0);
+  const auto mask = prune_dag(g, 0, 10, w, PruneMode::kFrontierMeet);
+  const auto sp = graph::dijkstra(g, 0, w);
+  const auto path = graph::extract_path(g, sp, 0, 10);
+  ASSERT_GE(path.size(), 2U);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto e = g.find_edge(path[i], path[i + 1]);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_TRUE(mask[static_cast<size_t>(*e)])
+        << "shortest-path edge " << path[i] << "->" << path[i + 1]
+        << " missing from frontier-meet DAG";
+  }
+}
+
+TEST(PruneDag, BadEndpointsThrow) {
+  const DiGraph g = diamond();
+  const std::vector<double> w(4, 1.0);
+  EXPECT_THROW(prune_dag(g, 0, 0, w, PruneMode::kDistanceToSink),
+               std::invalid_argument);
+  EXPECT_THROW(prune_dag(g, 0, 9, w, PruneMode::kDistanceToSink),
+               std::invalid_argument);
+}
+
+TEST(PruneDag, NonPositiveWeightsThrow) {
+  const DiGraph g = diamond();
+  EXPECT_THROW(prune_dag(g, 0, 3, {1.0, 0.0, 1.0, 1.0},
+                         PruneMode::kDistanceToSink),
+               std::invalid_argument);
+}
+
+TEST(PruneDag, UnreachableSinkThrows) {
+  DiGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 1, 1.0);
+  EXPECT_THROW(
+      prune_dag(g, 0, 2, {1.0, 1.0}, PruneMode::kFrontierMeet),
+      std::runtime_error);
+}
+
+// ---------------- softmin_routing ----------------
+
+class SoftminRoutingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftminRoutingProperty, ValidLoopFreeAndConserving) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const DiGraph g = topo::by_name(GetParam() % 2 == 0 ? "Abilene"
+                                                      : "SmallRing");
+  std::vector<double> weights(static_cast<size_t>(g.num_edges()));
+  for (auto& w : weights) w = rng.uniform(0.1, 10.0);
+  SoftminOptions options;
+  options.gamma = rng.uniform(0.5, 10.0);
+  const Routing r = softmin_routing(g, weights, options);
+
+  const DemandMatrix dm =
+      traffic::bimodal_matrix(g.num_nodes(), traffic::BimodalParams{}, rng);
+  std::string error;
+  EXPECT_TRUE(validate(g, r, dm, &error)) << error;
+  // simulate() is strict: it will throw on loops or lost traffic.
+  const auto sim = simulate(g, r, dm);
+  EXPECT_GT(sim.u_max, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftminRoutingProperty,
+                         ::testing::Range(0, 10));
+
+TEST(SoftminRouting, HighGammaApproachesShortestPath) {
+  // With distinct (tie-free) weights and gamma -> inf, softmin sends all
+  // traffic down the weighted shortest paths, matching shortest-path
+  // routing computed under the same weights.
+  const DiGraph g = topo::abilene();
+  util::Rng wrng(42);
+  std::vector<double> weights(static_cast<size_t>(g.num_edges()));
+  for (auto& w : weights) w = wrng.uniform(0.5, 5.0);
+  SoftminOptions sharp;
+  sharp.gamma = 60.0;
+  const Routing soft = softmin_routing(g, weights, sharp);
+  const Routing sp = shortest_path_routing(g, weights);
+  util::Rng rng(5);
+  const DemandMatrix dm =
+      traffic::bimodal_matrix(g.num_nodes(), traffic::BimodalParams{}, rng);
+  const double u_soft = simulate(g, soft, dm).u_max;
+  const double u_sp = simulate(g, sp, dm).u_max;
+  EXPECT_NEAR(u_soft, u_sp, u_sp * 0.02);
+}
+
+TEST(SoftminRouting, LowGammaSpreadsTraffic) {
+  const DiGraph g = diamond();
+  const std::vector<double> weights{1.0, 1.0, 1.0, 1.0};
+  SoftminOptions flat;
+  flat.gamma = 0.5;
+  const Routing r = softmin_routing(g, weights, flat);
+  // Both branches of the diamond carry traffic.
+  EXPECT_GT(r.ratio(0, 3, 0), 0.1);
+  EXPECT_GT(r.ratio(0, 3, 2), 0.1);
+}
+
+TEST(SoftminRouting, WeightSizeMismatchThrows) {
+  const DiGraph g = diamond();
+  EXPECT_THROW(softmin_routing(g, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SoftminRouting, BetterWeightsReduceCongestion) {
+  // A bottleneck scenario: pushing weight onto the bottleneck edge should
+  // divert traffic and lower U_max versus all-equal weights.
+  DiGraph g(4);
+  g.add_edge(0, 1, 2.0);   // e0: bottleneck branch
+  g.add_edge(1, 3, 2.0);   // e1
+  g.add_edge(0, 2, 20.0);  // e2: wide branch
+  g.add_edge(2, 3, 20.0);  // e3
+  DemandMatrix dm(4);
+  dm.set(0, 3, 10.0);
+  SoftminOptions options;
+  options.gamma = 3.0;
+  const Routing equal = softmin_routing(g, {1.0, 1.0, 1.0, 1.0}, options);
+  const Routing tuned = softmin_routing(g, {5.0, 5.0, 0.5, 0.5}, options);
+  EXPECT_LT(simulate(g, tuned, dm).u_max, simulate(g, equal, dm).u_max);
+}
+
+// ---------------- per-destination softmin (paper §V-C intermediate) ----
+
+TEST(PerDestinationSoftmin, EqualRowsMatchSingleVector) {
+  const DiGraph g = topo::abilene();
+  util::Rng rng(21);
+  std::vector<double> w(static_cast<size_t>(g.num_edges()));
+  for (auto& x : w) x = rng.uniform(0.5, 3.0);
+  const std::vector<std::vector<double>> rows(
+      static_cast<size_t>(g.num_nodes()), w);
+  const Routing combined = softmin_routing_per_destination(
+      g, rows, SoftminOptions{});
+  const Routing single = softmin_routing(g, w);
+  const DemandMatrix dm =
+      traffic::bimodal_matrix(g.num_nodes(), traffic::BimodalParams{}, rng);
+  EXPECT_NEAR(simulate(g, combined, dm).u_max,
+              simulate(g, single, dm).u_max, 1e-9);
+}
+
+TEST(PerDestinationSoftmin, DistinctRowsAreMoreExpressive) {
+  // Two destinations with opposite branch preferences on the diamond: a
+  // single weight vector cannot route dest 3 via one branch and dest 0
+  // via the other, but per-destination weights can.
+  const DiGraph g = diamond();
+  DiGraph bidir(4);
+  for (const auto& e : g.edges()) bidir.add_edge(e.src, e.dst, e.capacity);
+  bidir.add_edge(3, 1, 10.0);
+  bidir.add_edge(1, 0, 10.0);
+  bidir.add_edge(3, 2, 10.0);
+  bidir.add_edge(2, 0, 10.0);
+  std::vector<std::vector<double>> rows(4);
+  std::vector<double> prefer_upper(static_cast<size_t>(bidir.num_edges()),
+                                   1.0);
+  prefer_upper[2] = 3.0;  // penalise 0->2
+  std::vector<double> prefer_lower(static_cast<size_t>(bidir.num_edges()),
+                                   1.0);
+  prefer_lower[0] = 3.0;  // penalise 0->1
+  rows[3] = prefer_upper;
+  rows[0] = prefer_lower;
+  SoftminOptions sharp;
+  sharp.gamma = 10.0;
+  const Routing r = softmin_routing_per_destination(bidir, rows, sharp);
+  // Flow (0,3) prefers via 1; if weights were shared, both destinations
+  // would be forced through the same branch preference.
+  EXPECT_GT(r.ratio(0, 3, 0), 0.9);  // edge 0->1 dominates toward dest 3
+  DemandMatrix dm(4);
+  dm.set(0, 3, 1.0);
+  dm.set(3, 0, 1.0);
+  std::string error;
+  EXPECT_TRUE(validate(bidir, r, dm, &error)) << error;
+  const auto sim = simulate(bidir, r, dm);
+  EXPECT_NEAR(sim.delivered, 2.0, 1e-9);
+}
+
+TEST(PerDestinationSoftmin, EmptyRowsFallBackToUnitWeights) {
+  const DiGraph g = topo::by_name("SmallRing");
+  const std::vector<std::vector<double>> rows(
+      static_cast<size_t>(g.num_nodes()));
+  const Routing fallback = softmin_routing_per_destination(
+      g, rows, SoftminOptions{});
+  const Routing unit = softmin_routing(
+      g, std::vector<double>(static_cast<size_t>(g.num_edges()), 1.0));
+  util::Rng rng(22);
+  const DemandMatrix dm =
+      traffic::bimodal_matrix(g.num_nodes(), traffic::BimodalParams{}, rng);
+  EXPECT_NEAR(simulate(g, fallback, dm).u_max,
+              simulate(g, unit, dm).u_max, 1e-9);
+}
+
+TEST(PerDestinationSoftmin, BadShapesThrow) {
+  const DiGraph g = diamond();
+  EXPECT_THROW(softmin_routing_per_destination(g, {}, SoftminOptions{}),
+               std::invalid_argument);
+  std::vector<std::vector<double>> rows(4);
+  rows[0] = {1.0, 2.0};  // wrong width
+  EXPECT_THROW(softmin_routing_per_destination(g, rows, SoftminOptions{}),
+               std::invalid_argument);
+}
+
+// ---------------- baselines ----------------
+
+TEST(ShortestPath, RoutesAlongFewestHops) {
+  const DiGraph g = diamond();
+  const Routing r = shortest_path_routing(g);
+  DemandMatrix dm(4);
+  dm.set(0, 3, 1.0);
+  const auto sim = simulate(g, r, dm);
+  EXPECT_NEAR(sim.delivered, 1.0, 1e-12);
+  // All traffic on exactly one branch.
+  EXPECT_NEAR(sim.link_load[0] + sim.link_load[2], 1.0, 1e-12);
+  EXPECT_TRUE(sim.link_load[0] == 0.0 || sim.link_load[2] == 0.0);
+}
+
+TEST(Ecmp, SplitsOverEqualCostPaths) {
+  const DiGraph g = diamond();
+  const Routing r = ecmp_routing(g, graph::unit_weights(g));
+  DemandMatrix dm(4);
+  dm.set(0, 3, 8.0);
+  const auto sim = simulate(g, r, dm);
+  EXPECT_NEAR(sim.link_load[0], 4.0, 1e-9);
+  EXPECT_NEAR(sim.link_load[2], 4.0, 1e-9);
+}
+
+TEST(Ecmp, NeverWorseThanSingleShortestPathOnDiamond) {
+  const DiGraph g = diamond();
+  DemandMatrix dm(4);
+  dm.set(0, 3, 8.0);
+  const double u_sp = simulate(g, shortest_path_routing(g), dm).u_max;
+  const double u_ecmp =
+      simulate(g, ecmp_routing(g, graph::unit_weights(g)), dm).u_max;
+  EXPECT_LE(u_ecmp, u_sp + 1e-12);
+}
+
+TEST(UniformMultipath, DeliversAllTraffic) {
+  const DiGraph g = topo::abilene();
+  const Routing r = uniform_multipath_routing(g, graph::unit_weights(g), 3);
+  util::Rng rng(8);
+  const DemandMatrix dm =
+      traffic::bimodal_matrix(g.num_nodes(), traffic::BimodalParams{}, rng);
+  const auto sim = simulate(g, r, dm);
+  EXPECT_NEAR(sim.delivered, dm.total(), dm.total() * 1e-6);
+}
+
+TEST(UniformMultipath, KOneEqualsShortestPath) {
+  const DiGraph g = topo::abilene();
+  const auto w = graph::unit_weights(g);
+  util::Rng rng(9);
+  const DemandMatrix dm =
+      traffic::bimodal_matrix(g.num_nodes(), traffic::BimodalParams{}, rng);
+  const double u1 =
+      simulate(g, uniform_multipath_routing(g, w, 1), dm).u_max;
+  const double usp = simulate(g, shortest_path_routing(g, w), dm).u_max;
+  EXPECT_NEAR(u1, usp, 1e-9);
+}
+
+// ---------------- cycle cancellation & LP-derived routing ----------------
+
+TEST(CancelFlowCycles, RemovesPureCirculation) {
+  DiGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 0, 1.0);
+  const auto out = cancel_flow_cycles(g, {2.0, 2.0, 2.0});
+  for (double f : out) EXPECT_NEAR(f, 0.0, 1e-12);
+}
+
+TEST(CancelFlowCycles, PreservesAcyclicFlow) {
+  const DiGraph g = diamond();
+  const std::vector<double> flow{3.0, 3.0, 2.0, 2.0};
+  EXPECT_EQ(cancel_flow_cycles(g, flow), flow);
+}
+
+TEST(CancelFlowCycles, RemovesCycleKeepsNetFlow) {
+  DiGraph g(3);
+  g.add_edge(0, 1, 1.0);  // e0 carries 5
+  g.add_edge(1, 2, 1.0);  // e1 carries 5 + 2 (cycle)
+  g.add_edge(2, 1, 1.0);  // e2 carries 2 (cycle)
+  const auto out = cancel_flow_cycles(g, {5.0, 7.0, 2.0});
+  EXPECT_NEAR(out[0], 5.0, 1e-12);
+  EXPECT_NEAR(out[1], 5.0, 1e-12);
+  EXPECT_NEAR(out[2], 0.0, 1e-12);
+}
+
+// Simulating the routing derived from the optimal LP flows must reproduce
+// the LP's U_max — this closes the loop between solver and simulator.
+class OptimalRoutingRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimalRoutingRoundTrip, SimulationMatchesLpOptimum) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  const DiGraph g = GetParam() % 2 == 0 ? topo::abilene() : topo::nsfnet();
+  const DemandMatrix dm =
+      traffic::bimodal_matrix(g.num_nodes(), traffic::BimodalParams{}, rng);
+  const mcf::OptimalResult opt = mcf::solve_optimal(g, dm);
+  ASSERT_TRUE(opt.feasible);
+  const Routing r = routing_from_dest_flows(g, opt.flow_by_dest);
+  const auto sim = simulate(g, r, dm);
+  // Cycle cancellation can only lower loads, so u_max <= LP's within tol.
+  EXPECT_LE(sim.u_max, opt.u_max * (1.0 + 1e-5));
+  EXPECT_NEAR(sim.u_max, opt.u_max, opt.u_max * 1e-3);
+  EXPECT_NEAR(sim.delivered, dm.total(), dm.total() * 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalRoutingRoundTrip,
+                         ::testing::Range(0, 8));
+
+// Ordering property across schemes: optimal <= tuned schemes <= arbitrary.
+TEST(SchemeOrdering, OptimalIsLowerBound) {
+  const DiGraph g = topo::abilene();
+  util::Rng rng(77);
+  const DemandMatrix dm =
+      traffic::bimodal_matrix(g.num_nodes(), traffic::BimodalParams{}, rng);
+  const double u_opt = mcf::solve_optimal(g, dm).u_max;
+  for (double gamma : {0.5, 2.0, 8.0}) {
+    SoftminOptions options;
+    options.gamma = gamma;
+    std::vector<double> weights(static_cast<size_t>(g.num_edges()), 1.0);
+    const double u =
+        simulate(g, softmin_routing(g, weights, options), dm).u_max;
+    EXPECT_GE(u, u_opt * (1.0 - 1e-9)) << "gamma " << gamma;
+  }
+  const double u_sp = simulate(g, shortest_path_routing(g), dm).u_max;
+  EXPECT_GE(u_sp, u_opt * (1.0 - 1e-9));
+}
+
+}  // namespace
+}  // namespace gddr::routing

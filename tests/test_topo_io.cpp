@@ -1,0 +1,127 @@
+// Tests for the gddr-topology file format (src/topo/io.hpp).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "topo/io.hpp"
+#include "topo/zoo.hpp"
+
+namespace gddr::topo {
+namespace {
+
+TEST(TopologyIo, RoundTripPreservesStructure) {
+  for (const auto& name : catalogue_names()) {
+    const graph::DiGraph original = by_name(name);
+    std::stringstream ss;
+    save_topology(ss, original);
+    const graph::DiGraph loaded = load_topology(ss);
+    EXPECT_EQ(loaded.num_nodes(), original.num_nodes()) << name;
+    EXPECT_EQ(loaded.num_edges(), original.num_edges()) << name;
+    EXPECT_EQ(loaded.name(), original.name()) << name;
+    // Same connectivity and capacities (edge order may differ).
+    for (graph::EdgeId e = 0; e < original.num_edges(); ++e) {
+      const auto& ed = original.edge(e);
+      const auto found = loaded.find_edge(ed.src, ed.dst);
+      ASSERT_TRUE(found.has_value()) << name << " edge " << e;
+      EXPECT_DOUBLE_EQ(loaded.edge(*found).capacity, ed.capacity) << name;
+    }
+    EXPECT_TRUE(graph::is_strongly_connected(loaded)) << name;
+  }
+}
+
+TEST(TopologyIo, DirectedOnlyEdgesUseEdgeKeyword) {
+  graph::DiGraph g(3, "mixed");
+  g.add_bidirectional(0, 1, 100.0);
+  g.add_edge(1, 2, 50.0);  // one-way
+  std::stringstream ss;
+  save_topology(ss, g);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("link 0 1 100"), std::string::npos);
+  EXPECT_NE(text.find("edge 1 2 50"), std::string::npos);
+  std::stringstream rs(text);
+  const graph::DiGraph loaded = load_topology(rs);
+  EXPECT_EQ(loaded.num_edges(), 3);
+  EXPECT_FALSE(loaded.find_edge(2, 1).has_value());
+}
+
+TEST(TopologyIo, AsymmetricCapacitiesNotMergedIntoLink) {
+  graph::DiGraph g(2, "asym");
+  g.add_edge(0, 1, 100.0);
+  g.add_edge(1, 0, 200.0);
+  std::stringstream ss;
+  save_topology(ss, g);
+  std::stringstream rs(ss.str());
+  const graph::DiGraph loaded = load_topology(rs);
+  EXPECT_DOUBLE_EQ(loaded.edge(*loaded.find_edge(0, 1)).capacity, 100.0);
+  EXPECT_DOUBLE_EQ(loaded.edge(*loaded.find_edge(1, 0)).capacity, 200.0);
+}
+
+TEST(TopologyIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss(
+      "gddr-topology v1\n"
+      "# a comment\n"
+      "\n"
+      "name Test\n"
+      "nodes 2\n"
+      "   # indented comment\n"
+      "link 0 1 10\n");
+  const graph::DiGraph g = load_topology(ss);
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.name(), "Test");
+}
+
+TEST(TopologyIo, MissingHeaderRejected) {
+  std::stringstream ss("nodes 2\nlink 0 1 10\n");
+  EXPECT_THROW(load_topology(ss), std::runtime_error);
+}
+
+TEST(TopologyIo, MissingNodesRejected) {
+  std::stringstream ss("gddr-topology v1\nname X\n");
+  EXPECT_THROW(load_topology(ss), std::runtime_error);
+}
+
+TEST(TopologyIo, OutOfRangeNodeRejected) {
+  std::stringstream ss("gddr-topology v1\nnodes 2\nlink 0 5 10\n");
+  EXPECT_THROW(load_topology(ss), std::runtime_error);
+}
+
+TEST(TopologyIo, BadCapacityRejected) {
+  std::stringstream ss("gddr-topology v1\nnodes 2\nlink 0 1 -3\n");
+  EXPECT_THROW(load_topology(ss), std::runtime_error);
+}
+
+TEST(TopologyIo, SelfLoopRejected) {
+  std::stringstream ss("gddr-topology v1\nnodes 2\nlink 1 1 10\n");
+  EXPECT_THROW(load_topology(ss), std::runtime_error);
+}
+
+TEST(TopologyIo, UnknownKeywordRejected) {
+  std::stringstream ss("gddr-topology v1\nnodes 2\nwormhole 0 1 10\n");
+  EXPECT_THROW(load_topology(ss), std::runtime_error);
+}
+
+TEST(TopologyIo, MalformedEdgeLineRejected) {
+  std::stringstream ss("gddr-topology v1\nnodes 2\nlink 0\n");
+  EXPECT_THROW(load_topology(ss), std::runtime_error);
+}
+
+TEST(TopologyIo, MissingFileRejected) {
+  EXPECT_THROW(load_topology_file("/nonexistent/path.topo"),
+               std::runtime_error);
+}
+
+TEST(TopologyIo, ErrorsCarryLineNumbers) {
+  std::stringstream ss("gddr-topology v1\nnodes 2\nlink 0 9 10\n");
+  try {
+    load_topology(ss);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_NE(std::string(ex.what()).find("line 3"), std::string::npos)
+        << ex.what();
+  }
+}
+
+}  // namespace
+}  // namespace gddr::topo

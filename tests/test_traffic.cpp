@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "traffic/demand.hpp"
+#include "traffic/generators.hpp"
+
+namespace gddr::traffic {
+namespace {
+
+TEST(DemandMatrix, ZeroInitialised) {
+  const DemandMatrix dm(4);
+  for (int s = 0; s < 4; ++s) {
+    for (int t = 0; t < 4; ++t) EXPECT_EQ(dm.at(s, t), 0.0);
+  }
+  EXPECT_EQ(dm.total(), 0.0);
+}
+
+TEST(DemandMatrix, SetGet) {
+  DemandMatrix dm(3);
+  dm.set(0, 2, 5.5);
+  EXPECT_DOUBLE_EQ(dm.at(0, 2), 5.5);
+  EXPECT_DOUBLE_EQ(dm.at(2, 0), 0.0);
+}
+
+TEST(DemandMatrix, DiagonalRejected) {
+  DemandMatrix dm(3);
+  EXPECT_THROW(dm.set(1, 1, 1.0), std::invalid_argument);
+}
+
+TEST(DemandMatrix, NegativeRejected) {
+  DemandMatrix dm(3);
+  EXPECT_THROW(dm.set(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(DemandMatrix, OutOfRangeRejected) {
+  DemandMatrix dm(3);
+  EXPECT_THROW(dm.set(0, 3, 1.0), std::out_of_range);
+  EXPECT_THROW(dm.set(-1, 0, 1.0), std::out_of_range);
+}
+
+TEST(DemandMatrix, RowColumnSums) {
+  DemandMatrix dm(3);
+  dm.set(0, 1, 2.0);
+  dm.set(0, 2, 3.0);
+  dm.set(1, 2, 4.0);
+  EXPECT_DOUBLE_EQ(dm.out_sum(0), 5.0);
+  EXPECT_DOUBLE_EQ(dm.in_sum(2), 7.0);
+  EXPECT_DOUBLE_EQ(dm.total(), 9.0);
+  EXPECT_DOUBLE_EQ(dm.max_entry(), 4.0);
+}
+
+TEST(DemandMatrix, Scaled) {
+  DemandMatrix dm(2);
+  dm.set(0, 1, 4.0);
+  const DemandMatrix s = dm.scaled(0.5);
+  EXPECT_DOUBLE_EQ(s.at(0, 1), 2.0);
+  EXPECT_THROW(dm.scaled(-1.0), std::invalid_argument);
+}
+
+TEST(MeanMatrix, Averages) {
+  DemandMatrix a(2);
+  a.set(0, 1, 2.0);
+  DemandMatrix b(2);
+  b.set(0, 1, 4.0);
+  const DemandMatrix m = mean_matrix({a, b});
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 3.0);
+}
+
+TEST(MeanMatrix, SizeMismatchThrows) {
+  EXPECT_THROW(mean_matrix({DemandMatrix(2), DemandMatrix(3)}),
+               std::invalid_argument);
+}
+
+TEST(Bimodal, EntriesNonNegativeAndDiagonalZero) {
+  util::Rng rng(1);
+  const DemandMatrix dm = bimodal_matrix(10, BimodalParams{}, rng);
+  for (int s = 0; s < 10; ++s) {
+    EXPECT_EQ(dm.at(s, s), 0.0);
+    for (int t = 0; t < 10; ++t) EXPECT_GE(dm.at(s, t), 0.0);
+  }
+}
+
+TEST(Bimodal, MeanNearMixture) {
+  // With elephant_prob 0.2: E[D] = 0.8*400 + 0.2*800 = 480.
+  util::Rng rng(2);
+  double sum = 0.0;
+  int count = 0;
+  for (int rep = 0; rep < 50; ++rep) {
+    const DemandMatrix dm = bimodal_matrix(12, BimodalParams{}, rng);
+    sum += dm.total();
+    count += 12 * 11;
+  }
+  EXPECT_NEAR(sum / count, 480.0, 10.0);
+}
+
+TEST(Bimodal, ElephantProbabilityShiftsMean) {
+  util::Rng a(3);
+  util::Rng b(3);
+  BimodalParams heavy;
+  heavy.elephant_prob = 0.9;
+  const double light_total = bimodal_matrix(14, BimodalParams{}, a).total();
+  const double heavy_total = bimodal_matrix(14, heavy, b).total();
+  EXPECT_GT(heavy_total, light_total);
+}
+
+TEST(Bimodal, PairDensitySparsifies) {
+  util::Rng rng(4);
+  BimodalParams sparse;
+  sparse.pair_density = 0.3;
+  const DemandMatrix dm = bimodal_matrix(20, sparse, rng);
+  int zero = 0;
+  int total = 0;
+  for (int s = 0; s < 20; ++s) {
+    for (int t = 0; t < 20; ++t) {
+      if (s == t) continue;
+      ++total;
+      if (dm.at(s, t) == 0.0) ++zero;
+    }
+  }
+  EXPECT_GT(static_cast<double>(zero) / total, 0.5);
+}
+
+TEST(Bimodal, BadProbabilityThrows) {
+  util::Rng rng(5);
+  BimodalParams bad;
+  bad.elephant_prob = 1.5;
+  EXPECT_THROW(bimodal_matrix(5, bad, rng), std::invalid_argument);
+}
+
+TEST(CyclicalSequence, RepeatsWithPeriod) {
+  util::Rng rng(6);
+  const auto seq = cyclical_bimodal_sequence(8, 60, 10, BimodalParams{}, rng);
+  ASSERT_EQ(seq.size(), 60U);
+  for (size_t i = 0; i + 10 < seq.size(); ++i) {
+    for (int s = 0; s < 8; ++s) {
+      for (int t = 0; t < 8; ++t) {
+        EXPECT_DOUBLE_EQ(seq[i].at(s, t), seq[i + 10].at(s, t));
+      }
+    }
+  }
+}
+
+TEST(CyclicalSequence, WithinCycleDiffers) {
+  util::Rng rng(7);
+  const auto seq = cyclical_bimodal_sequence(8, 20, 10, BimodalParams{}, rng);
+  bool any_diff = false;
+  for (int s = 0; s < 8 && !any_diff; ++s) {
+    for (int t = 0; t < 8 && !any_diff; ++t) {
+      if (seq[0].at(s, t) != seq[1].at(s, t)) any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CyclicalSequence, BadLengthsThrow) {
+  util::Rng rng(8);
+  EXPECT_THROW(cyclical_bimodal_sequence(4, 10, 0, BimodalParams{}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(cyclical_bimodal_sequence(4, -1, 5, BimodalParams{}, rng),
+               std::invalid_argument);
+}
+
+TEST(Gravity, MeanDemandMatchesParam) {
+  util::Rng rng(9);
+  GravityParams params;
+  params.mean_demand = 250.0;
+  const DemandMatrix dm = gravity_matrix(10, params, rng);
+  EXPECT_NEAR(dm.total() / (10 * 9), 250.0, 1e-6);
+}
+
+TEST(Gravity, ProportionalToMasses) {
+  // Rank correlation sanity: rows of high-mass nodes dominate.  We check
+  // the multiplicative structure D[s][t] * D[t][s] symmetric in masses.
+  util::Rng rng(10);
+  const DemandMatrix dm = gravity_matrix(6, GravityParams{}, rng);
+  for (int s = 0; s < 6; ++s) {
+    for (int t = s + 1; t < 6; ++t) {
+      EXPECT_NEAR(dm.at(s, t), dm.at(t, s), 1e-9)
+          << "gravity model must be symmetric";
+    }
+  }
+}
+
+TEST(Gravity, CyclicalSequenceTiles) {
+  util::Rng rng(11);
+  const auto seq = cyclical_gravity_sequence(5, 12, 4, GravityParams{}, rng);
+  ASSERT_EQ(seq.size(), 12U);
+  EXPECT_DOUBLE_EQ(seq[0].at(0, 1), seq[4].at(0, 1));
+  EXPECT_DOUBLE_EQ(seq[3].at(2, 1), seq[11].at(2, 1));
+}
+
+TEST(NormalisePeakTotal, ScalesToTarget) {
+  util::Rng rng(12);
+  auto seq = cyclical_bimodal_sequence(6, 10, 5, BimodalParams{}, rng);
+  seq = normalise_peak_total(std::move(seq), 1000.0);
+  double peak = 0.0;
+  for (const auto& dm : seq) peak = std::max(peak, dm.total());
+  EXPECT_NEAR(peak, 1000.0, 1e-6);
+}
+
+TEST(NormalisePeakTotal, EmptyOrZeroSafe) {
+  DemandSequence empty;
+  EXPECT_TRUE(normalise_peak_total(empty, 10.0).empty());
+  DemandSequence zeros{DemandMatrix(3)};
+  const auto out = normalise_peak_total(zeros, 10.0);
+  EXPECT_EQ(out[0].total(), 0.0);
+}
+
+}  // namespace
+}  // namespace gddr::traffic

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace gddr::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_index(7);
+    EXPECT_LT(v, 7U);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7U);  // all values hit
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    if (v == -2) saw_lo = true;
+    if (v == 2) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(400.0, 100.0);
+  EXPECT_NEAR(sum / n, 400.0, 2.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.2)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.2, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(37);
+  Rng child = parent.split();
+  // Child stream should not be identical to the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMeanVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, Ci95ShrinksWithSamples) {
+  RunningStat small;
+  RunningStat large;
+  Rng rng(41);
+  for (int i = 0; i < 10; ++i) small.add(rng.normal());
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Percentile, Median) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, Extremes) {
+  std::vector<double> v{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, Interpolates) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(Percentile, EmptyIsZero) { EXPECT_EQ(percentile({}, 50.0), 0.0); }
+
+TEST(MeanOf, Basic) {
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(mean_of({}), 0.0);
+}
+
+TEST(MovingAverage, WindowOne) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_EQ(moving_average(v, 1), v);
+}
+
+TEST(MovingAverage, SmoothsRamp) {
+  const auto out = moving_average({0.0, 2.0, 4.0, 6.0}, 2);
+  ASSERT_EQ(out.size(), 4U);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+  EXPECT_DOUBLE_EQ(out[3], 5.0);
+}
+
+TEST(MovingAverage, WindowLargerThanSeriesClamped) {
+  const auto out = moving_average({4.0, 8.0}, 10);
+  ASSERT_EQ(out.size(), 2U);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+}
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("| 1"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"col", "x"});
+  t.add_row({"longvalue", "1"});
+  const std::string s = t.to_string();
+  // Header row and data row should have equal lengths.
+  const auto first_nl = s.find('\n');
+  const auto second_nl = s.find('\n', first_nl + 1);
+  const auto third_nl = s.find('\n', second_nl + 1);
+  EXPECT_EQ(first_nl, third_nl - second_nl - 1);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace gddr::util

@@ -1,0 +1,186 @@
+// gddr_cli — command-line front end to the GDDR library.
+//
+//   gddr_cli topos                        list the embedded catalogue
+//   gddr_cli show <topology>              nodes, links, capacities
+//   gddr_cli export <topology> <file>     write topology in gddr format
+//   gddr_cli optimal <topology> [seed]    optimal congestion for a random DM
+//   gddr_cli route <topology> [gamma]     softmin routing vs baselines
+//   gddr_cli tables <topology> [gamma]    per-switch flow tables
+//
+// Topologies may name a catalogue entry or be a path to a
+// gddr-topology file (see src/topo/io.hpp).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "graph/algorithms.hpp"
+#include "mcf/mean_util.hpp"
+#include "mcf/optimal.hpp"
+#include "routing/baselines.hpp"
+#include "routing/forwarding.hpp"
+#include "routing/softmin.hpp"
+#include "topo/io.hpp"
+#include "topo/zoo.hpp"
+#include "traffic/generators.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gddr;
+
+graph::DiGraph resolve_topology(const std::string& spec) {
+  for (const auto& name : topo::catalogue_names()) {
+    if (name == spec) return topo::by_name(spec);
+  }
+  return topo::load_topology_file(spec);
+}
+
+traffic::DemandMatrix random_demand(const graph::DiGraph& g,
+                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  traffic::BimodalParams params;
+  params.pair_density = 0.3;
+  return traffic::bimodal_matrix(g.num_nodes(), params, rng);
+}
+
+int cmd_topos() {
+  util::Table table({"name", "|V|", "|E| (directed)", "total capacity"});
+  for (const auto& name : topo::catalogue_names()) {
+    const auto g = topo::by_name(name);
+    table.add_row({name, std::to_string(g.num_nodes()),
+                   std::to_string(g.num_edges()),
+                   util::fmt(g.total_capacity(), 0)});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_show(const std::string& spec) {
+  const auto g = resolve_topology(spec);
+  std::printf("%s: %d nodes, %d directed edges\n", g.name().c_str(),
+              g.num_nodes(), g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    std::printf("  edge %2d: %2d -> %2d  capacity %.0f\n", e, ed.src, ed.dst,
+                ed.capacity);
+  }
+  return 0;
+}
+
+int cmd_export(const std::string& spec, const std::string& path) {
+  const auto g = resolve_topology(spec);
+  topo::save_topology_file(path, g);
+  std::printf("wrote %s to %s\n", g.name().c_str(), path.c_str());
+  return 0;
+}
+
+int cmd_optimal(const std::string& spec, std::uint64_t seed) {
+  const auto g = resolve_topology(spec);
+  const auto dm = random_demand(g, seed);
+  std::printf("%s with a bimodal demand matrix (seed %llu, total %.0f)\n",
+              g.name().c_str(), static_cast<unsigned long long>(seed),
+              dm.total());
+  const auto opt = mcf::solve_optimal(g, dm);
+  if (!opt.feasible) {
+    std::printf("LP failed\n");
+    return 1;
+  }
+  std::printf("optimal max link utilisation U*: %.4f\n", opt.u_max);
+  std::printf("optimal mean link utilisation:   %.4f\n",
+              mcf::min_mean_utilisation(g, dm));
+  const auto util = mcf::edge_utilisation(g, opt);
+  std::vector<graph::EdgeId> order(static_cast<size_t>(g.num_edges()));
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    order[static_cast<size_t>(e)] = e;
+  }
+  std::sort(order.begin(), order.end(), [&](graph::EdgeId a, graph::EdgeId b) {
+    return util[static_cast<size_t>(a)] > util[static_cast<size_t>(b)];
+  });
+  std::printf("most utilised links at the optimum:\n");
+  for (int rank = 0; rank < 5 && rank < g.num_edges(); ++rank) {
+    const graph::EdgeId e = order[static_cast<size_t>(rank)];
+    const auto& ed = g.edge(e);
+    std::printf("  %2d -> %2d: %.4f\n", ed.src, ed.dst,
+                util[static_cast<size_t>(e)]);
+  }
+  return 0;
+}
+
+int cmd_route(const std::string& spec, double gamma) {
+  const auto g = resolve_topology(spec);
+  const auto dm = random_demand(g, 1);
+  const double u_opt = mcf::solve_optimal(g, dm).u_max;
+
+  routing::SoftminOptions options;
+  options.gamma = gamma;
+  const std::vector<double> weights(static_cast<size_t>(g.num_edges()), 1.0);
+
+  util::Table table({"scheme", "U_max", "ratio to optimal"});
+  auto row = [&](const std::string& label, const routing::Routing& r) {
+    const auto sim = routing::simulate(g, r, dm);
+    table.add_row({label, util::fmt(sim.u_max),
+                   util::fmt(u_opt > 0 ? sim.u_max / u_opt : 0.0)});
+  };
+  row("softmin (gamma " + util::fmt(gamma, 1) + ")",
+      routing::softmin_routing(g, weights, options));
+  row("shortest path", routing::shortest_path_routing(g));
+  row("ECMP", routing::ecmp_routing(g, graph::unit_weights(g)));
+  table.add_row({"optimal (LP)", util::fmt(u_opt), "1.0000"});
+  table.print();
+  return 0;
+}
+
+int cmd_tables(const std::string& spec, double gamma) {
+  const auto g = resolve_topology(spec);
+  routing::SoftminOptions options;
+  options.gamma = gamma;
+  const std::vector<double> weights(static_cast<size_t>(g.num_edges()), 1.0);
+  const auto r = routing::softmin_routing(g, weights, options);
+  const auto tables = routing::to_flow_tables(g, r);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::fputs(routing::format_flow_table(g, tables, v).c_str(), stdout);
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gddr_cli <command> [...]\n"
+               "  topos\n"
+               "  show <topology>\n"
+               "  export <topology> <file>\n"
+               "  optimal <topology> [seed]\n"
+               "  route <topology> [gamma]\n"
+               "  tables <topology> [gamma]\n"
+               "<topology> is a catalogue name (see 'topos') or a "
+               "gddr-topology file path.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "topos") return cmd_topos();
+    if (command == "show" && argc >= 3) return cmd_show(argv[2]);
+    if (command == "export" && argc >= 4) return cmd_export(argv[2], argv[3]);
+    if (command == "optimal" && argc >= 3) {
+      return cmd_optimal(argv[2],
+                         argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 1);
+    }
+    if (command == "route" && argc >= 3) {
+      return cmd_route(argv[2], argc >= 4 ? std::atof(argv[3]) : 2.0);
+    }
+    if (command == "tables" && argc >= 3) {
+      return cmd_tables(argv[2], argc >= 4 ? std::atof(argv[3]) : 2.0);
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
+  return usage();
+}
