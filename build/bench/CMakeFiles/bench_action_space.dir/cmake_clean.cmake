@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_action_space.dir/bench_action_space.cpp.o"
+  "CMakeFiles/bench_action_space.dir/bench_action_space.cpp.o.d"
+  "bench_action_space"
+  "bench_action_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_action_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_action_space_learning.dir/bench_action_space_learning.cpp.o"
+  "CMakeFiles/bench_action_space_learning.dir/bench_action_space_learning.cpp.o.d"
+  "bench_action_space_learning"
+  "bench_action_space_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_action_space_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

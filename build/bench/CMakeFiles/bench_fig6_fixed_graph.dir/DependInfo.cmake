@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_fixed_graph.cpp" "bench/CMakeFiles/bench_fig6_fixed_graph.dir/bench_fig6_fixed_graph.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_fixed_graph.dir/bench_fig6_fixed_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gddr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/gddr_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/gddr_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gddr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/gddr_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcf/CMakeFiles/gddr_mcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/gddr_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/gddr_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/gddr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gddr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gddr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

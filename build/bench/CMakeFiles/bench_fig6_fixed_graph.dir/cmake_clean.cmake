@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fixed_graph.dir/bench_fig6_fixed_graph.cpp.o"
+  "CMakeFiles/bench_fig6_fixed_graph.dir/bench_fig6_fixed_graph.cpp.o.d"
+  "bench_fig6_fixed_graph"
+  "bench_fig6_fixed_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fixed_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

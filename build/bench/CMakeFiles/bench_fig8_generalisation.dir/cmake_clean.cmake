@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_generalisation.dir/bench_fig8_generalisation.cpp.o"
+  "CMakeFiles/bench_fig8_generalisation.dir/bench_fig8_generalisation.cpp.o.d"
+  "bench_fig8_generalisation"
+  "bench_fig8_generalisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_generalisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gamma_ablation.dir/bench_gamma_ablation.cpp.o"
+  "CMakeFiles/bench_gamma_ablation.dir/bench_gamma_ablation.cpp.o.d"
+  "bench_gamma_ablation"
+  "bench_gamma_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gamma_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

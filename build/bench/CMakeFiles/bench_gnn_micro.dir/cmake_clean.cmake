@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gnn_micro.dir/bench_gnn_micro.cpp.o"
+  "CMakeFiles/bench_gnn_micro.dir/bench_gnn_micro.cpp.o.d"
+  "bench_gnn_micro"
+  "bench_gnn_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gnn_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lp_micro.dir/bench_lp_micro.cpp.o"
+  "CMakeFiles/bench_lp_micro.dir/bench_lp_micro.cpp.o.d"
+  "bench_lp_micro"
+  "bench_lp_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lp_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs_ablation.dir/bench_obs_ablation.cpp.o"
+  "CMakeFiles/bench_obs_ablation.dir/bench_obs_ablation.cpp.o.d"
+  "bench_obs_ablation"
+  "bench_obs_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

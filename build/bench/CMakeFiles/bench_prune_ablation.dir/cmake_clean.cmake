@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prune_ablation.dir/bench_prune_ablation.cpp.o"
+  "CMakeFiles/bench_prune_ablation.dir/bench_prune_ablation.cpp.o.d"
+  "bench_prune_ablation"
+  "bench_prune_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prune_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_quality.dir/bench_routing_quality.cpp.o"
+  "CMakeFiles/bench_routing_quality.dir/bench_routing_quality.cpp.o.d"
+  "bench_routing_quality"
+  "bench_routing_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalise.dir/generalise.cpp.o"
+  "CMakeFiles/generalise.dir/generalise.cpp.o.d"
+  "generalise"
+  "generalise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

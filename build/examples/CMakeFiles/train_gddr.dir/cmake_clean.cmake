@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_gddr.dir/train_gddr.cpp.o"
+  "CMakeFiles/train_gddr.dir/train_gddr.cpp.o.d"
+  "train_gddr"
+  "train_gddr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_gddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

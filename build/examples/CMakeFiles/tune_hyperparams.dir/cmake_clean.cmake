@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_hyperparams.dir/tune_hyperparams.cpp.o"
+  "CMakeFiles/tune_hyperparams.dir/tune_hyperparams.cpp.o.d"
+  "tune_hyperparams"
+  "tune_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/evaluate.cpp" "src/core/CMakeFiles/gddr_core.dir/evaluate.cpp.o" "gcc" "src/core/CMakeFiles/gddr_core.dir/evaluate.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/gddr_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/gddr_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/iterative_env.cpp" "src/core/CMakeFiles/gddr_core.dir/iterative_env.cpp.o" "gcc" "src/core/CMakeFiles/gddr_core.dir/iterative_env.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/core/CMakeFiles/gddr_core.dir/policies.cpp.o" "gcc" "src/core/CMakeFiles/gddr_core.dir/policies.cpp.o.d"
+  "/root/repo/src/core/routing_env.cpp" "src/core/CMakeFiles/gddr_core.dir/routing_env.cpp.o" "gcc" "src/core/CMakeFiles/gddr_core.dir/routing_env.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/gddr_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/gddr_core.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rl/CMakeFiles/gddr_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/gddr_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gddr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/gddr_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcf/CMakeFiles/gddr_mcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/gddr_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/gddr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gddr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gddr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/gddr_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

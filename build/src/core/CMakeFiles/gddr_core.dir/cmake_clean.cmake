@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gddr_core.dir/evaluate.cpp.o"
+  "CMakeFiles/gddr_core.dir/evaluate.cpp.o.d"
+  "CMakeFiles/gddr_core.dir/experiment.cpp.o"
+  "CMakeFiles/gddr_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/gddr_core.dir/iterative_env.cpp.o"
+  "CMakeFiles/gddr_core.dir/iterative_env.cpp.o.d"
+  "CMakeFiles/gddr_core.dir/policies.cpp.o"
+  "CMakeFiles/gddr_core.dir/policies.cpp.o.d"
+  "CMakeFiles/gddr_core.dir/routing_env.cpp.o"
+  "CMakeFiles/gddr_core.dir/routing_env.cpp.o.d"
+  "CMakeFiles/gddr_core.dir/scenario.cpp.o"
+  "CMakeFiles/gddr_core.dir/scenario.cpp.o.d"
+  "libgddr_core.a"
+  "libgddr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gddr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/graph_net.cpp" "src/gnn/CMakeFiles/gddr_gnn.dir/graph_net.cpp.o" "gcc" "src/gnn/CMakeFiles/gddr_gnn.dir/graph_net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/gddr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gddr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gddr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gddr_gnn.dir/graph_net.cpp.o"
+  "CMakeFiles/gddr_gnn.dir/graph_net.cpp.o.d"
+  "libgddr_gnn.a"
+  "libgddr_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gddr_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

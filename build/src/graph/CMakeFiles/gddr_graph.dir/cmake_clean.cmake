@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gddr_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/gddr_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/gddr_graph.dir/digraph.cpp.o"
+  "CMakeFiles/gddr_graph.dir/digraph.cpp.o.d"
+  "libgddr_graph.a"
+  "libgddr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gddr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

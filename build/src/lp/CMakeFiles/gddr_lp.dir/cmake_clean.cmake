@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gddr_lp.dir/simplex.cpp.o"
+  "CMakeFiles/gddr_lp.dir/simplex.cpp.o.d"
+  "libgddr_lp.a"
+  "libgddr_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gddr_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcf/cache.cpp" "src/mcf/CMakeFiles/gddr_mcf.dir/cache.cpp.o" "gcc" "src/mcf/CMakeFiles/gddr_mcf.dir/cache.cpp.o.d"
+  "/root/repo/src/mcf/fptas.cpp" "src/mcf/CMakeFiles/gddr_mcf.dir/fptas.cpp.o" "gcc" "src/mcf/CMakeFiles/gddr_mcf.dir/fptas.cpp.o.d"
+  "/root/repo/src/mcf/mean_util.cpp" "src/mcf/CMakeFiles/gddr_mcf.dir/mean_util.cpp.o" "gcc" "src/mcf/CMakeFiles/gddr_mcf.dir/mean_util.cpp.o.d"
+  "/root/repo/src/mcf/optimal.cpp" "src/mcf/CMakeFiles/gddr_mcf.dir/optimal.cpp.o" "gcc" "src/mcf/CMakeFiles/gddr_mcf.dir/optimal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/gddr_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gddr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/gddr_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gddr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

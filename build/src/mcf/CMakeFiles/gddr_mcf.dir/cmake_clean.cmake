@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gddr_mcf.dir/cache.cpp.o"
+  "CMakeFiles/gddr_mcf.dir/cache.cpp.o.d"
+  "CMakeFiles/gddr_mcf.dir/fptas.cpp.o"
+  "CMakeFiles/gddr_mcf.dir/fptas.cpp.o.d"
+  "CMakeFiles/gddr_mcf.dir/mean_util.cpp.o"
+  "CMakeFiles/gddr_mcf.dir/mean_util.cpp.o.d"
+  "CMakeFiles/gddr_mcf.dir/optimal.cpp.o"
+  "CMakeFiles/gddr_mcf.dir/optimal.cpp.o.d"
+  "libgddr_mcf.a"
+  "libgddr_mcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gddr_mcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

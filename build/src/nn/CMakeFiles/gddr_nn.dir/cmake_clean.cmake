@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gddr_nn.dir/gaussian.cpp.o"
+  "CMakeFiles/gddr_nn.dir/gaussian.cpp.o.d"
+  "CMakeFiles/gddr_nn.dir/mlp.cpp.o"
+  "CMakeFiles/gddr_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/gddr_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/gddr_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/gddr_nn.dir/serialize.cpp.o"
+  "CMakeFiles/gddr_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/gddr_nn.dir/tape.cpp.o"
+  "CMakeFiles/gddr_nn.dir/tape.cpp.o.d"
+  "CMakeFiles/gddr_nn.dir/tensor.cpp.o"
+  "CMakeFiles/gddr_nn.dir/tensor.cpp.o.d"
+  "libgddr_nn.a"
+  "libgddr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gddr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

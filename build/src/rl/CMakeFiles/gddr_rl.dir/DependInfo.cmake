@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/ppo.cpp" "src/rl/CMakeFiles/gddr_rl.dir/ppo.cpp.o" "gcc" "src/rl/CMakeFiles/gddr_rl.dir/ppo.cpp.o.d"
+  "/root/repo/src/rl/rollout.cpp" "src/rl/CMakeFiles/gddr_rl.dir/rollout.cpp.o" "gcc" "src/rl/CMakeFiles/gddr_rl.dir/rollout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/gddr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gddr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

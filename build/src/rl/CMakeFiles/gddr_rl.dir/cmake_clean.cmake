@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gddr_rl.dir/ppo.cpp.o"
+  "CMakeFiles/gddr_rl.dir/ppo.cpp.o.d"
+  "CMakeFiles/gddr_rl.dir/rollout.cpp.o"
+  "CMakeFiles/gddr_rl.dir/rollout.cpp.o.d"
+  "libgddr_rl.a"
+  "libgddr_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gddr_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/baselines.cpp" "src/routing/CMakeFiles/gddr_routing.dir/baselines.cpp.o" "gcc" "src/routing/CMakeFiles/gddr_routing.dir/baselines.cpp.o.d"
+  "/root/repo/src/routing/forwarding.cpp" "src/routing/CMakeFiles/gddr_routing.dir/forwarding.cpp.o" "gcc" "src/routing/CMakeFiles/gddr_routing.dir/forwarding.cpp.o.d"
+  "/root/repo/src/routing/prune.cpp" "src/routing/CMakeFiles/gddr_routing.dir/prune.cpp.o" "gcc" "src/routing/CMakeFiles/gddr_routing.dir/prune.cpp.o.d"
+  "/root/repo/src/routing/routing.cpp" "src/routing/CMakeFiles/gddr_routing.dir/routing.cpp.o" "gcc" "src/routing/CMakeFiles/gddr_routing.dir/routing.cpp.o.d"
+  "/root/repo/src/routing/softmin.cpp" "src/routing/CMakeFiles/gddr_routing.dir/softmin.cpp.o" "gcc" "src/routing/CMakeFiles/gddr_routing.dir/softmin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gddr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/gddr_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcf/CMakeFiles/gddr_mcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/gddr_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gddr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

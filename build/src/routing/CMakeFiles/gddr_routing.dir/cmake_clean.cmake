@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gddr_routing.dir/baselines.cpp.o"
+  "CMakeFiles/gddr_routing.dir/baselines.cpp.o.d"
+  "CMakeFiles/gddr_routing.dir/forwarding.cpp.o"
+  "CMakeFiles/gddr_routing.dir/forwarding.cpp.o.d"
+  "CMakeFiles/gddr_routing.dir/prune.cpp.o"
+  "CMakeFiles/gddr_routing.dir/prune.cpp.o.d"
+  "CMakeFiles/gddr_routing.dir/routing.cpp.o"
+  "CMakeFiles/gddr_routing.dir/routing.cpp.o.d"
+  "CMakeFiles/gddr_routing.dir/softmin.cpp.o"
+  "CMakeFiles/gddr_routing.dir/softmin.cpp.o.d"
+  "libgddr_routing.a"
+  "libgddr_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gddr_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgddr_routing.a"
+)

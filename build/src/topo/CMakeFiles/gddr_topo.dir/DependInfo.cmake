@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/generators.cpp" "src/topo/CMakeFiles/gddr_topo.dir/generators.cpp.o" "gcc" "src/topo/CMakeFiles/gddr_topo.dir/generators.cpp.o.d"
+  "/root/repo/src/topo/io.cpp" "src/topo/CMakeFiles/gddr_topo.dir/io.cpp.o" "gcc" "src/topo/CMakeFiles/gddr_topo.dir/io.cpp.o.d"
+  "/root/repo/src/topo/mutate.cpp" "src/topo/CMakeFiles/gddr_topo.dir/mutate.cpp.o" "gcc" "src/topo/CMakeFiles/gddr_topo.dir/mutate.cpp.o.d"
+  "/root/repo/src/topo/zoo.cpp" "src/topo/CMakeFiles/gddr_topo.dir/zoo.cpp.o" "gcc" "src/topo/CMakeFiles/gddr_topo.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gddr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gddr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gddr_topo.dir/generators.cpp.o"
+  "CMakeFiles/gddr_topo.dir/generators.cpp.o.d"
+  "CMakeFiles/gddr_topo.dir/io.cpp.o"
+  "CMakeFiles/gddr_topo.dir/io.cpp.o.d"
+  "CMakeFiles/gddr_topo.dir/mutate.cpp.o"
+  "CMakeFiles/gddr_topo.dir/mutate.cpp.o.d"
+  "CMakeFiles/gddr_topo.dir/zoo.cpp.o"
+  "CMakeFiles/gddr_topo.dir/zoo.cpp.o.d"
+  "libgddr_topo.a"
+  "libgddr_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gddr_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

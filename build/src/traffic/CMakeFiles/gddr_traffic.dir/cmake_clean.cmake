@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gddr_traffic.dir/demand.cpp.o"
+  "CMakeFiles/gddr_traffic.dir/demand.cpp.o.d"
+  "CMakeFiles/gddr_traffic.dir/generators.cpp.o"
+  "CMakeFiles/gddr_traffic.dir/generators.cpp.o.d"
+  "libgddr_traffic.a"
+  "libgddr_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gddr_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

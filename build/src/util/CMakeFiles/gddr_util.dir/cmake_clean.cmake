@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gddr_util.dir/rng.cpp.o"
+  "CMakeFiles/gddr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gddr_util.dir/stats.cpp.o"
+  "CMakeFiles/gddr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gddr_util.dir/table.cpp.o"
+  "CMakeFiles/gddr_util.dir/table.cpp.o.d"
+  "libgddr_util.a"
+  "libgddr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gddr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcf.dir/test_mcf.cpp.o"
+  "CMakeFiles/test_mcf.dir/test_mcf.cpp.o.d"
+  "test_mcf"
+  "test_mcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gddr_cli.dir/gddr_cli.cpp.o"
+  "CMakeFiles/gddr_cli.dir/gddr_cli.cpp.o.d"
+  "gddr_cli"
+  "gddr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gddr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
