@@ -18,11 +18,17 @@
 #include "rl/ppo.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace gddr;
 using namespace gddr::core;
+
+// Number of environment instances for vectorised collection.  Fixed (not
+// tied to --workers) so that trajectories are bit-identical whatever the
+// worker count; --workers only sets how many threads step them.
+constexpr int kVecEnvs = 4;
 
 struct Curve {
   std::vector<long> steps;
@@ -30,9 +36,15 @@ struct Curve {
   double fps = 0.0;
 };
 
-Curve train_curve(rl::Policy& policy, RoutingEnv& env, long total_steps,
-                  std::uint64_t seed) {
-  rl::PpoTrainer trainer(policy, env, routing_ppo_config(), seed);
+Curve train_curve(rl::Policy& policy, const Scenario& scenario,
+                  const EnvConfig& env_cfg, long total_steps,
+                  std::uint64_t env_seed, std::uint64_t trainer_seed,
+                  util::ThreadPool& pool) {
+  const auto envs = make_vec_envs({scenario}, env_cfg, env_seed, kVecEnvs);
+  std::vector<rl::Env*> env_ptrs;
+  for (const auto& env : envs) env_ptrs.push_back(env.get());
+  rl::PpoTrainer trainer(policy, env_ptrs, routing_ppo_config(),
+                         trainer_seed, &pool);
   Curve curve;
   const auto start = std::chrono::steady_clock::now();
   trainer.train(total_steps, [&](const rl::PpoIterationStats& stats) {
@@ -50,9 +62,13 @@ Curve train_curve(rl::Policy& policy, RoutingEnv& env, long total_steps,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IONBF, 0);
+  const int workers = util::consume_workers_flag(argc, argv);
+  util::ThreadPool pool(workers);
   std::printf("=== Figure 7: learning curves (MLP vs GNN) ===\n");
+  std::printf("%d collection worker(s), %d vectorised envs\n", workers,
+              kVecEnvs);
 
   util::Rng rng(20210202);
   const ScenarioParams params = experiment_scenario_params();
@@ -68,22 +84,22 @@ int main() {
 
   Curve mlp_curve;
   {
-    RoutingEnv env({scenario}, env_cfg, 1);
     util::Rng prng(2);
     const int obs_dim =
         memory * scenario.graph.num_nodes() * scenario.graph.num_nodes();
     MlpPolicy policy(obs_dim, scenario.graph.num_edges(),
                      experiment_mlp_config(), prng);
     std::printf("training MLP...\n");
-    mlp_curve = train_curve(policy, env, steps, 3);
+    mlp_curve = train_curve(policy, scenario, env_cfg, steps,
+                            /*env_seed=*/1, /*trainer_seed=*/3, pool);
   }
   Curve gnn_curve;
   {
-    RoutingEnv env({scenario}, env_cfg, 4);
     util::Rng prng(5);
     GnnPolicy policy(experiment_gnn_config(memory), prng);
     std::printf("training GNN...\n");
-    gnn_curve = train_curve(policy, env, steps, 6);
+    gnn_curve = train_curve(policy, scenario, env_cfg, steps,
+                            /*env_seed=*/4, /*trainer_seed=*/6, pool);
   }
 
   // Smooth like the paper's plot and print both series on a shared grid.

@@ -14,6 +14,7 @@
 // graphs" bars because softmin routing is further from the multipath
 // optimum on some of those structures.
 #include <cstdio>
+#include <memory>
 
 #include "core/evaluate.hpp"
 #include "core/experiment.hpp"
@@ -24,11 +25,16 @@
 #include "topo/mutate.hpp"
 #include "topo/zoo.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace gddr;
 using namespace gddr::core;
+
+// Fixed vec-env count (independent of --workers) so trajectories are
+// bit-identical whatever the thread count.
+constexpr int kVecEnvs = 4;
 
 struct SetResult {
   EvalResult gnn;
@@ -37,47 +43,62 @@ struct SetResult {
 };
 
 SetResult run_set(const std::vector<Scenario>& scenarios, int memory,
-                  std::uint64_t seed_base) {
+                  std::uint64_t seed_base, util::ThreadPool& pool) {
   SetResult result;
   {
     mcf::OptimalCache cache;
-    result.shortest_path = evaluate_shortest_path(scenarios, memory, cache);
+    result.shortest_path =
+        evaluate_shortest_path(scenarios, memory, cache, &pool);
   }
   {
     const long steps = bench_train_steps(6000);
     EnvConfig env_cfg;
     env_cfg.memory = memory;
-    RoutingEnv env(scenarios, env_cfg, seed_base);
+    const auto envs = make_vec_envs(scenarios, env_cfg, seed_base, kVecEnvs);
+    std::vector<rl::Env*> env_ptrs;
+    for (const auto& env : envs) env_ptrs.push_back(env.get());
     util::Rng prng(seed_base + 1);
     GnnPolicy policy(experiment_gnn_config(memory), prng);
-    rl::PpoTrainer trainer(policy, env, routing_ppo_config(),
-                           seed_base + 2);
+    rl::PpoTrainer trainer(policy, env_ptrs, routing_ppo_config(),
+                           seed_base + 2, &pool);
     std::printf("  training GNN for %ld steps...\n", steps);
     trainer.train(steps);
-    result.gnn = evaluate_policy(trainer, env);
+    result.gnn = evaluate_policy(trainer, *envs.front(), &pool);
   }
   {
     const long steps = bench_train_steps(6000) * 2;
     IterativeEnvConfig env_cfg;
     env_cfg.memory = memory;
-    IterativeRoutingEnv env(scenarios, env_cfg, seed_base + 3);
+    // Vectorised by hand (no make_vec_envs overload): env i seeded
+    // seed_base+3+i, all sharing env 0's LP cache.
+    std::vector<std::unique_ptr<IterativeRoutingEnv>> envs;
+    for (int i = 0; i < kVecEnvs; ++i) {
+      envs.push_back(std::make_unique<IterativeRoutingEnv>(
+          scenarios, env_cfg, seed_base + 3 + static_cast<std::uint64_t>(i)));
+      if (i > 0) envs.back()->set_shared_cache(envs.front()->shared_cache());
+    }
+    std::vector<rl::Env*> env_ptrs;
+    for (const auto& env : envs) env_ptrs.push_back(env.get());
     util::Rng prng(seed_base + 4);
     IterativeGnnPolicy policy(experiment_iterative_gnn_config(memory), prng);
     rl::PpoTrainer trainer(
-        policy, env, iterative_ppo_config(env.edges_per_step()),
-        seed_base + 5);
+        policy, env_ptrs, iterative_ppo_config(envs.front()->edges_per_step()),
+        seed_base + 5, &pool);
     std::printf("  training GNN-Iterative for %ld micro-steps...\n", steps);
     trainer.train(steps);
-    result.iterative = evaluate_policy(trainer, env);
+    result.iterative = evaluate_policy(trainer, *envs.front(), &pool);
   }
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IONBF, 0);
+  const int workers = util::consume_workers_flag(argc, argv);
+  util::ThreadPool pool(workers);
   std::printf("=== Figure 8: generalising to unseen graphs ===\n");
+  std::printf("%d worker(s), %d vectorised envs\n", workers, kVecEnvs);
 
   const int memory = 5;
   const ScenarioParams params = experiment_scenario_params();
@@ -98,7 +119,7 @@ int main() {
     std::printf("  %-12s |V|=%2d |E|=%2d\n", s.graph.name().c_str(),
                 s.graph.num_nodes(), s.graph.num_edges());
   }
-  const SetResult a = run_set(different, memory, 100);
+  const SetResult a = run_set(different, memory, 100, pool);
 
   // (b) Abilene with 1-2 random modifications.
   util::Rng rng_b(20210404);
@@ -113,7 +134,7 @@ int main() {
   }
   std::printf("similar-graphs set: %zu mutated AbileneHet variants\n",
               similar.size());
-  const SetResult b = run_set(similar, memory, 200);
+  const SetResult b = run_set(similar, memory, 200, pool);
 
   std::printf("\nBar heights (mean U_max_agent / U_max_optimal on test "
               "DMs; lower is better):\n");

@@ -1,0 +1,209 @@
+// Parallel-engine smoke benchmark: measures the wall-clock speedup of the
+// two parallel phases (vectorised experience collection and per-unit
+// evaluation) at 1 vs 4 workers, and checks the determinism contract —
+// the 4-worker run must be bit-identical to the serial one.
+//
+// Writes the measurements to BENCH_parallel.json in the working directory.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/evaluate.hpp"
+#include "core/experiment.hpp"
+#include "core/policies.hpp"
+#include "core/routing_env.hpp"
+#include "rl/rollout.hpp"
+#include "rl/vec_env.hpp"
+#include "routing/baselines.hpp"
+#include "topo/zoo.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace gddr;
+using namespace gddr::core;
+
+constexpr int kVecEnvs = 4;
+constexpr int kStepsPerEnv = 48;
+constexpr int kEvalTestSequences = 8;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct CollectRun {
+  rl::RolloutBuffer buffer;
+  double seconds = 0.0;
+};
+
+// Fresh identical setup per run (same seeds, fresh LP cache) so the two
+// worker counts do the same work and their buffers are comparable.
+CollectRun run_collection(const Scenario& scenario, int workers) {
+  util::ThreadPool pool(workers);
+  EnvConfig env_cfg;
+  env_cfg.memory = 5;
+  const auto envs = make_vec_envs({scenario}, env_cfg, /*seed=*/11, kVecEnvs);
+  std::vector<rl::Env*> env_ptrs;
+  for (const auto& env : envs) env_ptrs.push_back(env.get());
+  util::Rng prng(13);
+  GnnPolicy policy(experiment_gnn_config(env_cfg.memory), prng);
+  rl::VecEnvCollector collector(policy, env_ptrs, /*seed=*/17, &pool);
+
+  CollectRun run;
+  const double start = now_seconds();
+  collector.collect(kStepsPerEnv, /*reward_scale=*/1.0, run.buffer);
+  run.seconds = now_seconds() - start;
+  return run;
+}
+
+bool buffers_identical(const rl::RolloutBuffer& a, const rl::RolloutBuffer& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const rl::StepSample& x = a.samples()[i];
+    const rl::StepSample& y = b.samples()[i];
+    if (x.action != y.action || x.log_prob != y.log_prob ||
+        x.value != y.value || x.reward != y.reward || x.done != y.done ||
+        x.truncated != y.truncated ||
+        x.bootstrap_value != y.bootstrap_value ||
+        x.obs.flat != y.obs.flat) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct EvalRun {
+  EvalResult result;
+  double seconds = 0.0;
+};
+
+EvalRun run_evaluation(const Scenario& scenario, int workers) {
+  util::ThreadPool pool(workers);
+  mcf::OptimalCache cache;  // fresh: both runs solve the same LPs
+  EvalRun run;
+  const double start = now_seconds();
+  run.result = evaluate_fixed(
+      {scenario}, /*memory=*/5, cache,
+      [](const graph::DiGraph& g) {
+        const std::vector<double> w(static_cast<size_t>(g.num_edges()), 1.0);
+        return routing::softmin_routing(g, w);
+      },
+      &pool);
+  run.seconds = now_seconds() - start;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  const int workers = util::consume_workers_flag(argc, argv);
+  const int parallel_workers = workers > 1 ? workers : 4;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("=== Parallel engine: speedup and determinism smoke ===\n");
+  std::printf("comparing 1 worker vs %d workers (%u hardware threads)\n",
+              parallel_workers, hardware);
+  if (hardware < 2) {
+    std::printf("note: single-core host — wall-clock speedup > 1 is not "
+                "attainable; this run still verifies determinism and "
+                "measures threading overhead.\n");
+  }
+
+  util::Rng rng(20210202);
+  ScenarioParams params = experiment_scenario_params();
+  const Scenario train_scenario =
+      make_scenario(topo::abilene_heterogeneous(), params, rng);
+  params.test_sequences = kEvalTestSequences;
+  util::Rng rng2(20210505);
+  const Scenario eval_scenario =
+      make_scenario(topo::abilene_heterogeneous(), params, rng2);
+
+  std::printf("\n[1/2] vectorised collection: %d envs x %d steps...\n",
+              kVecEnvs, kStepsPerEnv);
+  const CollectRun collect_serial = run_collection(train_scenario, 1);
+  const CollectRun collect_parallel =
+      run_collection(train_scenario, parallel_workers);
+  const bool collect_identical =
+      buffers_identical(collect_serial.buffer, collect_parallel.buffer);
+  const double collect_speedup =
+      collect_parallel.seconds > 0.0
+          ? collect_serial.seconds / collect_parallel.seconds
+          : 0.0;
+  std::printf("  1 worker: %.3fs, %d workers: %.3fs  ->  %.2fx speedup\n",
+              collect_serial.seconds, parallel_workers,
+              collect_parallel.seconds, collect_speedup);
+  std::printf("  buffers bit-identical: %s\n",
+              collect_identical ? "yes" : "NO — DETERMINISM VIOLATION");
+
+  std::printf("\n[2/2] parallel evaluation: %d test sequences...\n",
+              kEvalTestSequences);
+  const EvalRun eval_serial = run_evaluation(eval_scenario, 1);
+  const EvalRun eval_parallel = run_evaluation(eval_scenario, parallel_workers);
+  const bool eval_identical =
+      eval_serial.result.mean_ratio == eval_parallel.result.mean_ratio &&
+      eval_serial.result.stddev == eval_parallel.result.stddev &&
+      eval_serial.result.steps == eval_parallel.result.steps;
+  const double eval_speedup =
+      eval_parallel.seconds > 0.0 ? eval_serial.seconds / eval_parallel.seconds
+                                  : 0.0;
+  std::printf("  1 worker: %.3fs, %d workers: %.3fs  ->  %.2fx speedup\n",
+              eval_serial.seconds, parallel_workers, eval_parallel.seconds,
+              eval_speedup);
+  std::printf("  mean ratio %.6f vs %.6f, bit-identical: %s\n",
+              eval_serial.result.mean_ratio, eval_parallel.result.mean_ratio,
+              eval_identical ? "yes" : "NO — DETERMINISM VIOLATION");
+
+  const double best_speedup = std::max(collect_speedup, eval_speedup);
+  std::FILE* out = std::fopen("BENCH_parallel.json", "w");
+  if (out != nullptr) {
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"workers\": %d,\n"
+        "  \"hardware_concurrency\": %u,\n"
+        "  \"vec_envs\": %d,\n"
+        "  \"collection\": {\n"
+        "    \"steps_per_env\": %d,\n"
+        "    \"serial_seconds\": %.6f,\n"
+        "    \"parallel_seconds\": %.6f,\n"
+        "    \"speedup\": %.3f,\n"
+        "    \"bit_identical\": %s\n"
+        "  },\n"
+        "  \"evaluation\": {\n"
+        "    \"test_sequences\": %d,\n"
+        "    \"serial_seconds\": %.6f,\n"
+        "    \"parallel_seconds\": %.6f,\n"
+        "    \"speedup\": %.3f,\n"
+        "    \"bit_identical\": %s,\n"
+        "    \"mean_ratio\": %.9f\n"
+        "  },\n"
+        "  \"best_speedup\": %.3f,\n"
+        "  \"meets_2x_target\": %s,\n"
+        "  \"note\": \"%s\"\n"
+        "}\n",
+        parallel_workers, hardware, kVecEnvs, kStepsPerEnv,
+        collect_serial.seconds, collect_parallel.seconds, collect_speedup,
+        collect_identical ? "true" : "false", kEvalTestSequences,
+        eval_serial.seconds, eval_parallel.seconds, eval_speedup,
+        eval_identical ? "true" : "false", eval_serial.result.mean_ratio,
+        best_speedup, best_speedup >= 2.0 ? "true" : "false",
+        hardware >= 2
+            ? "speedup measured against the inline serial path"
+            : "single-core host: speedup > 1 unattainable; run verifies "
+              "determinism and bounds threading overhead");
+    std::fclose(out);
+    std::printf("\nwrote BENCH_parallel.json (best speedup %.2fx)\n",
+                best_speedup);
+  } else {
+    std::fprintf(stderr, "could not write BENCH_parallel.json\n");
+  }
+
+  const bool ok = collect_identical && eval_identical;
+  if (!ok) std::fprintf(stderr, "FAIL: determinism contract violated\n");
+  return ok ? 0 : 1;
+}

@@ -17,14 +17,18 @@
 #include "routing/softmin.hpp"
 #include "topo/zoo.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gddr;
   using namespace gddr::core;
   std::setvbuf(stdout, nullptr, _IONBF, 0);
+  const int workers = util::consume_workers_flag(argc, argv);
+  util::ThreadPool pool(workers);
   std::printf("=== Routing-scheme quality vs the MCF optimum ===\n");
   std::printf("mean U_max ratio over test DMs (1.0 = LP optimum; lower "
-              "is better)\n\n");
+              "is better); %d worker(s)\n\n",
+              workers);
 
   ScenarioParams params = experiment_scenario_params();
   params.test_sequences = 1;  // one test sequence per topology is plenty
@@ -43,29 +47,37 @@ int main() {
     mcf::OptimalCache cache;
     const int memory = 5;
 
-    const auto sp = evaluate_shortest_path({scenario}, memory, cache);
+    const auto sp = evaluate_shortest_path({scenario}, memory, cache, &pool);
     const auto ecmp = evaluate_fixed(
-        {scenario}, memory, cache, [](const graph::DiGraph& gr) {
+        {scenario}, memory, cache,
+        [](const graph::DiGraph& gr) {
           return routing::ecmp_routing(gr, graph::unit_weights(gr));
-        });
+        },
+        &pool);
     const auto neutral = evaluate_fixed(
-        {scenario}, memory, cache, [](const graph::DiGraph& gr) {
+        {scenario}, memory, cache,
+        [](const graph::DiGraph& gr) {
           const std::vector<double> w(
               static_cast<size_t>(gr.num_edges()), 1.0);
           return routing::softmin_routing(gr, w);
-        });
+        },
+        &pool);
     const auto multipath = evaluate_fixed(
-        {scenario}, memory, cache, [](const graph::DiGraph& gr) {
+        {scenario}, memory, cache,
+        [](const graph::DiGraph& gr) {
           return routing::uniform_multipath_routing(
               gr, graph::unit_weights(gr), 3);
-        });
+        },
+        &pool);
     // Static data-driven baseline: optimal for the mean of the training
     // sequence, then fixed.
     const auto mean_dm = evaluate_fixed(
-        {scenario}, memory, cache, [&](const graph::DiGraph& gr) {
+        {scenario}, memory, cache,
+        [&](const graph::DiGraph& gr) {
           return routing::mean_demand_optimal_routing(
               gr, scenario.train_sequences[0]);
-        });
+        },
+        &pool);
 
     // FPTAS cross-check on the first test DM.
     const auto& dm = scenario.test_sequences[0][5];

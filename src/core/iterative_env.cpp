@@ -37,6 +37,15 @@ void IterativeRoutingEnv::set_mode(Mode mode) {
   in_sequence_ = false;  // next reset starts a fresh sequence
 }
 
+void IterativeRoutingEnv::set_shared_cache(
+    std::shared_ptr<mcf::OptimalCache> cache) {
+  if (!cache) {
+    throw std::invalid_argument(
+        "IterativeRoutingEnv::set_shared_cache: null cache");
+  }
+  cache_ = std::move(cache);
+}
+
 const graph::DiGraph& IterativeRoutingEnv::current_graph() const {
   return scenarios_[scenario_idx_].graph;
 }
@@ -50,6 +59,32 @@ std::size_t IterativeRoutingEnv::num_test_episodes() const {
     }
   }
   return total;
+}
+
+std::size_t IterativeRoutingEnv::num_test_units() const {
+  std::size_t total = 0;
+  for (const auto& s : scenarios_) total += s.test_sequences.size();
+  return total;
+}
+
+int IterativeRoutingEnv::episodes_in_unit(std::size_t unit) const {
+  std::size_t idx = unit % num_test_units();
+  for (const auto& s : scenarios_) {
+    if (idx < s.test_sequences.size()) {
+      return static_cast<int>(s.test_sequences[idx].size()) - config_.memory;
+    }
+    idx -= s.test_sequences.size();
+  }
+  return 0;  // unreachable: idx was reduced modulo num_test_units()
+}
+
+void IterativeRoutingEnv::seek_test_unit(std::size_t unit) {
+  if (mode_ != Mode::kTest) {
+    throw std::logic_error(
+        "IterativeRoutingEnv::seek_test_unit: requires kTest mode");
+  }
+  test_cursor_ = unit % num_test_units();
+  in_sequence_ = false;  // next reset() starts the sought unit afresh
 }
 
 const traffic::DemandSequence& IterativeRoutingEnv::current_sequence() const {

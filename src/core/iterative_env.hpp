@@ -62,7 +62,19 @@ class IterativeRoutingEnv final : public rl::Env {
   // Total (scenario, test sequence) pairs — one test episode each.
   std::size_t num_test_episodes() const;
 
+  // Parallel-evaluation support (see RoutingEnv): a test unit is one
+  // (scenario, test sequence) pair; each unit spans several episodes here
+  // (one per demand matrix).  seek_test_unit requires kTest mode.
+  std::size_t num_test_units() const;
+  int episodes_in_unit(std::size_t unit) const;
+  void seek_test_unit(std::size_t unit);
+
   mcf::OptimalCache& cache() { return *cache_; }
+
+  // See RoutingEnv: vectorised instances stepping the same scenarios can
+  // share one internally-locked LP cache.
+  std::shared_ptr<mcf::OptimalCache> shared_cache() const { return cache_; }
+  void set_shared_cache(std::shared_ptr<mcf::OptimalCache> cache);
 
   // gamma value produced by mapping action component a in [-1,1].
   double map_gamma(double a) const;

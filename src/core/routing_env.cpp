@@ -35,6 +35,13 @@ void RoutingEnv::set_mode(Mode mode) {
   test_cursor_ = 0;
 }
 
+void RoutingEnv::set_shared_cache(std::shared_ptr<mcf::OptimalCache> cache) {
+  if (!cache) {
+    throw std::invalid_argument("RoutingEnv::set_shared_cache: null cache");
+  }
+  cache_ = std::move(cache);
+}
+
 const Scenario& RoutingEnv::current_scenario() const {
   return scenarios_[scenario_idx_];
 }
@@ -57,6 +64,15 @@ std::size_t RoutingEnv::num_test_episodes() const {
   std::size_t total = 0;
   for (const auto& s : scenarios_) total += s.test_sequences.size();
   return total;
+}
+
+int RoutingEnv::episodes_in_unit(std::size_t /*unit*/) const { return 1; }
+
+void RoutingEnv::seek_test_unit(std::size_t unit) {
+  if (mode_ != Mode::kTest) {
+    throw std::logic_error("RoutingEnv::seek_test_unit: requires kTest mode");
+  }
+  test_cursor_ = unit % num_test_units();
 }
 
 int RoutingEnv::action_dim() const {
@@ -151,6 +167,7 @@ Observation RoutingEnv::reset() {
     test_cursor_ = (test_cursor_ + 1) % total;
   }
   t_ = config_.memory;
+  episode_steps_ = 0;
   return build_observation(current_scenario(), current_sequence(), t_,
                            config_.memory, config_.node_features);
 }
@@ -203,12 +220,36 @@ rl::Env::StepResult RoutingEnv::step(std::span<const double> action) {
   last_ratio_ = optimal > 0.0 ? achieved / optimal : 1.0;
   result.reward = -last_ratio_;  // paper Eq. 2
   ++t_;
-  result.done = t_ >= static_cast<int>(seq.size());
-  if (!result.done) {
-    result.obs = build_observation(current_scenario(), seq, t_,
-                                   config_.memory, config_.node_features);
-  }
+  ++episode_steps_;
+  // Both episode endings here are *truncations*: the demand process does
+  // not terminate, we merely ran out of sequence (or hit the step cap).
+  // The terminal observation is still well-defined (its history window
+  // ends at the final routed DM) and is returned so the collector can
+  // bootstrap V(s_T) instead of zeroing it.
+  const bool out_of_sequence = t_ >= static_cast<int>(seq.size());
+  const bool step_capped = config_.max_episode_steps > 0 &&
+                           episode_steps_ >= config_.max_episode_steps;
+  result.done = out_of_sequence || step_capped;
+  result.truncated = result.done;
+  // Valid even at t_ == seq.size(): the observation reads the history
+  // window [t_ - memory, t_), which ends at the final routed DM.
+  result.obs = build_observation(current_scenario(), seq, t_,
+                                 config_.memory, config_.node_features);
   return result;
+}
+
+std::vector<std::unique_ptr<RoutingEnv>> make_vec_envs(
+    const std::vector<Scenario>& scenarios, const EnvConfig& config,
+    std::uint64_t seed, int n) {
+  if (n <= 0) throw std::invalid_argument("make_vec_envs: n <= 0");
+  std::vector<std::unique_ptr<RoutingEnv>> envs;
+  envs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    envs.push_back(std::make_unique<RoutingEnv>(
+        scenarios, config, seed + static_cast<std::uint64_t>(i)));
+    if (i > 0) envs.back()->set_shared_cache(envs.front()->shared_cache());
+  }
+  return envs;
 }
 
 }  // namespace gddr::core

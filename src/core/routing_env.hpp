@@ -64,6 +64,11 @@ struct EnvConfig {
   // everywhere and gradients vanish).
   double min_weight = 0.5;
   double max_weight = 3.0;
+  // Hard per-episode step cap (0 = uncapped).  An episode cut by the cap
+  // — like one ending because the demand sequence ran out — is a
+  // truncation, not a terminal: StepResult::truncated is set and the
+  // terminal observation returned so GAE can bootstrap from V(s_T).
+  int max_episode_steps = 0;
 };
 
 class RoutingEnv final : public rl::Env {
@@ -92,7 +97,21 @@ class RoutingEnv final : public rl::Env {
   // Total (scenario, test sequence) pairs — one test episode each.
   std::size_t num_test_episodes() const;
 
+  // Parallel-evaluation support: a test *unit* is one (scenario, test
+  // sequence) pair, the granularity at which evaluation is farmed out to
+  // workers.  seek_test_unit positions the deterministic test sweep so
+  // the next reset() starts unit `unit`; requires kTest mode.
+  std::size_t num_test_units() const { return num_test_episodes(); }
+  int episodes_in_unit(std::size_t unit) const;
+  void seek_test_unit(std::size_t unit);
+
   mcf::OptimalCache& cache() { return *cache_; }
+
+  // The memoised LP oracle is internally locked, so instances stepping
+  // the same scenarios concurrently (vectorised collection) can share one
+  // cache instead of each re-solving identical LPs.
+  std::shared_ptr<mcf::OptimalCache> shared_cache() const { return cache_; }
+  void set_shared_cache(std::shared_ptr<mcf::OptimalCache> cache);
 
   // Builds the observation for position `t` (the action decided there is
   // evaluated on demand matrix index t).  Exposed for the iterative
@@ -115,7 +134,15 @@ class RoutingEnv final : public rl::Env {
   std::size_t sequence_idx_ = 0;
   std::size_t test_cursor_ = 0;  // deterministic test-episode cycling
   int t_ = 0;                    // index of the DM the next action routes
+  int episode_steps_ = 0;        // steps taken in the current episode
   double last_ratio_ = 0.0;
 };
+
+// Builds `n` independent RoutingEnv instances over the same scenarios for
+// vectorised collection: env i is seeded `seed + i` (its own scenario /
+// sequence sampling stream) and all instances share one LP cache.
+std::vector<std::unique_ptr<RoutingEnv>> make_vec_envs(
+    const std::vector<Scenario>& scenarios, const EnvConfig& config,
+    std::uint64_t seed, int n);
 
 }  // namespace gddr::core

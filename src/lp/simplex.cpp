@@ -94,8 +94,13 @@ enum class IterateResult { kOptimal, kUnbounded, kIterationLimit };
 // are never allowed to enter the basis (used to freeze artificials in
 // phase 2).
 IterateResult iterate(SimplexState& s, std::size_t col_limit,
-                      std::size_t max_iterations, double pivot_tol) {
-  std::size_t stall = 0;
+                      const LinearProgram::Options& options,
+                      std::size_t max_iterations) {
+  const double pivot_tol = options.pivot_tolerance;
+  const std::size_t degenerate_limit =
+      options.degenerate_pivot_limit > 0 ? options.degenerate_pivot_limit
+                                         : 1;
+  std::size_t degenerate = 0;
   double last_objective = std::numeric_limits<double>::infinity();
   bool bland = false;
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
@@ -141,12 +146,18 @@ IterateResult iterate(SimplexState& s, std::size_t col_limit,
     s.tableau.pivot(leaving_row, entering);
     s.basis[leaving_row] = static_cast<int>(entering);
 
-    // --- stall detection -> Bland's rule for guaranteed termination ---
+    // --- anti-cycling ---
+    // A pivot that fails to strictly improve the objective is degenerate;
+    // a bounded run of them flips pricing to Bland's rule (the entering
+    // selection above plus the smallest-basis-index ratio tie-break),
+    // under which the simplex provably cannot revisit a basis.  Bland
+    // stays engaged until the objective strictly improves again, so a
+    // cycle cannot re-form by bouncing between pricing rules.
     const double objective = -s.tableau.at(s.cost_row, s.rhs_col);
     if (objective < last_objective - 1e-12) {
-      stall = 0;
+      degenerate = 0;
       bland = false;
-    } else if (++stall > 64) {
+    } else if (++degenerate >= degenerate_limit) {
       bland = true;
     }
     last_objective = objective;
@@ -268,8 +279,7 @@ Solution LinearProgram::solve(const Options& options) const {
       phase1_costs[c] = 1.0;
     }
     install_costs(s, phase1_costs);
-    const IterateResult r1 =
-        iterate(s, total_cols, max_iters, options.pivot_tolerance);
+    const IterateResult r1 = iterate(s, total_cols, options, max_iters);
     if (r1 == IterateResult::kIterationLimit) {
       solution.status = SolveStatus::kIterationLimit;
       return solution;
@@ -297,8 +307,7 @@ Solution LinearProgram::solve(const Options& options) const {
   std::vector<double> phase2_costs(total_cols, 0.0);
   for (std::size_t c = 0; c < n; ++c) phase2_costs[c] = objective_[c];
   install_costs(s, phase2_costs);
-  const IterateResult r2 = iterate(s, s.artificial_begin, max_iters,
-                                   options.pivot_tolerance);
+  const IterateResult r2 = iterate(s, s.artificial_begin, options, max_iters);
   if (r2 == IterateResult::kUnbounded) {
     solution.status = SolveStatus::kUnbounded;
     return solution;

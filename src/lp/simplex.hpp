@@ -55,6 +55,14 @@ class LinearProgram {
     std::size_t max_iterations = 0;
     double pivot_tolerance = 1e-9;
     double feasibility_tolerance = 1e-7;
+    // Anti-cycling: after this many consecutive pivots without objective
+    // improvement (degenerate pivots), pricing falls back to Bland's rule
+    // — smallest-index entering column plus the smallest-basis-index
+    // ratio-test tie-break — which provably cannot cycle.  Dantzig
+    // pricing resumes once the objective strictly improves.  Must be > 0;
+    // pathological degenerate LPs (which parallel evaluation can hit on
+    // arbitrary generated scenarios) terminate instead of looping.
+    std::size_t degenerate_pivot_limit = 64;
   };
 
   Solution solve(const Options& options) const;

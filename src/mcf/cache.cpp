@@ -43,6 +43,39 @@ std::uint64_t demand_fingerprint(const traffic::DemandMatrix& dm) {
   return h;
 }
 
+OptimalCache::OptimalCache(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+OptimalCache::OptimalCache(const OptimalCache& other) {
+  const std::lock_guard<std::mutex> lock(other.mutex_);
+  capacity_ = other.capacity_;
+  cache_ = other.cache_;
+  mean_cache_ = other.mean_cache_;
+  hits_ = other.hits_;
+  misses_ = other.misses_;
+  evictions_ = other.evictions_;
+  // The copied Entry::recency iterators point into the copied lists'
+  // nodes only by accident of std::list copying order — rebuild them.
+  for (LruMap* lru : {&cache_, &mean_cache_}) {
+    for (auto it = lru->order.begin(); it != lru->order.end(); ++it) {
+      lru->map[*it].recency = it;
+    }
+  }
+}
+
+OptimalCache& OptimalCache::operator=(const OptimalCache& other) {
+  if (this == &other) return *this;
+  OptimalCache copy(other);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = copy.capacity_;
+  cache_ = std::move(copy.cache_);
+  mean_cache_ = std::move(copy.mean_cache_);
+  hits_ = copy.hits_;
+  misses_ = copy.misses_;
+  evictions_ = copy.evictions_;
+  return *this;
+}
+
 std::uint64_t OptimalCache::key_for(const graph::DiGraph& g,
                                     const traffic::DemandMatrix& dm) const {
   std::uint64_t key = graph_fingerprint(g);
@@ -52,40 +85,89 @@ std::uint64_t OptimalCache::key_for(const graph::DiGraph& g,
   return key;
 }
 
+bool OptimalCache::lookup(LruMap& lru, std::uint64_t key, double& value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = lru.map.find(key);
+  if (it == lru.map.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru.order.splice(lru.order.begin(), lru.order, it->second.recency);
+  value = it->second.value;
+  return true;
+}
+
+void OptimalCache::insert(LruMap& lru, std::uint64_t key, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (lru.map.find(key) != lru.map.end()) return;  // lost a benign race
+  while (lru.map.size() >= capacity_) {
+    lru.map.erase(lru.order.back());
+    lru.order.pop_back();
+    ++evictions_;
+  }
+  lru.order.push_front(key);
+  lru.map.emplace(key, LruMap::Entry{value, lru.order.begin()});
+}
+
+template <typename Solver>
+double OptimalCache::lookup_or_solve(LruMap& lru, const graph::DiGraph& g,
+                                     const traffic::DemandMatrix& dm,
+                                     const Solver& solver) {
+  const std::uint64_t key = key_for(g, dm);
+  double value = 0.0;
+  if (lookup(lru, key, value)) return value;
+  value = solver();  // LP runs outside the lock
+  insert(lru, key, value);
+  return value;
+}
+
 double OptimalCache::mean_util(const graph::DiGraph& g,
                                const traffic::DemandMatrix& dm) {
-  const std::uint64_t key = key_for(g, dm);
-  if (const auto it = mean_cache_.find(key); it != mean_cache_.end()) {
-    ++hits_;
-    return it->second;
-  }
-  ++misses_;
-  const double value = min_mean_utilisation(g, dm);
-  mean_cache_.emplace(key, value);
-  return value;
+  return lookup_or_solve(mean_cache_, g, dm,
+                         [&] { return min_mean_utilisation(g, dm); });
 }
 
 double OptimalCache::u_max(const graph::DiGraph& g,
                            const traffic::DemandMatrix& dm) {
-  const std::uint64_t key = key_for(g, dm);
-  if (const auto it = cache_.find(key); it != cache_.end()) {
-    ++hits_;
-    return it->second;
-  }
-  ++misses_;
-  const OptimalResult result = solve_optimal(g, dm);
-  if (!result.feasible) {
-    throw std::runtime_error("OptimalCache: LP infeasible/unsolved");
-  }
-  cache_.emplace(key, result.u_max);
-  return result.u_max;
+  return lookup_or_solve(cache_, g, dm, [&] {
+    const OptimalResult result = solve_optimal(g, dm);
+    if (!result.feasible) {
+      throw std::runtime_error("OptimalCache: LP infeasible/unsolved");
+    }
+    return result.u_max;
+  });
+}
+
+std::size_t OptimalCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.map.size() + mean_cache_.map.size();
+}
+
+std::size_t OptimalCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t OptimalCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t OptimalCache::evictions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
 }
 
 void OptimalCache::clear() {
-  cache_.clear();
-  mean_cache_.clear();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cache_.map.clear();
+  cache_.order.clear();
+  mean_cache_.map.clear();
+  mean_cache_.order.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 }  // namespace gddr::mcf

@@ -4,9 +4,20 @@
 // demand sequences repeat a small base cycle of matrices, caching
 // U*_max by (graph, demand-matrix) content hash removes nearly all LP
 // solves after the first episode.
+//
+// The cache is bounded (LRU eviction at `capacity` entries per map) so a
+// long multi-topology experiment cannot grow it without limit, and
+// thread-safe: lookups/insertions take an internal mutex while LP solves
+// run *outside* the lock, so concurrent evaluation workers only serialise
+// on the (cheap) map operations.  Two workers racing on the same missing
+// key may both solve it; the solver is deterministic, so both arrive at
+// the same value and the duplicate insert is a no-op — results never
+// depend on thread timing.
 #pragma once
 
 #include <cstdint>
+#include <list>
+#include <mutex>
 #include <unordered_map>
 
 #include "graph/digraph.hpp"
@@ -22,6 +33,17 @@ std::uint64_t demand_fingerprint(const traffic::DemandMatrix& dm);
 
 class OptimalCache {
  public:
+  // Default capacity comfortably holds every distinct (graph, DM) pair of
+  // the paper-scale experiments (hundreds per scenario) while bounding a
+  // production-length run to a few MB per map.
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit OptimalCache(std::size_t capacity = kDefaultCapacity);
+
+  // Copying shares no state; each copy starts from the source's entries.
+  OptimalCache(const OptimalCache& other);
+  OptimalCache& operator=(const OptimalCache& other);
+
   // Optimal U_max for (g, dm), computed on first use via solve_optimal.
   // Throws std::runtime_error if the LP is not solvable (cannot happen for
   // strongly connected graphs with finite demands).
@@ -31,19 +53,47 @@ class OptimalCache {
   // memoised the same way.
   double mean_util(const graph::DiGraph& g, const traffic::DemandMatrix& dm);
 
-  std::size_t size() const { return cache_.size() + mean_cache_.size(); }
-  std::size_t hits() const { return hits_; }
-  std::size_t misses() const { return misses_; }
+  // Entry cap per map (u_max and mean_util are bounded independently).
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const;
+  std::size_t hits() const;
+  std::size_t misses() const;
+  std::size_t evictions() const;
   void clear();
 
  private:
+  // One LRU map: unordered_map for O(1) lookup, intrusive recency list
+  // for O(1) touch/evict.
+  struct LruMap {
+    struct Entry {
+      double value = 0.0;
+      std::list<std::uint64_t>::iterator recency;
+    };
+    std::unordered_map<std::uint64_t, Entry> map;
+    std::list<std::uint64_t> order;  // front = most recently used
+  };
+
   std::uint64_t key_for(const graph::DiGraph& g,
                         const traffic::DemandMatrix& dm) const;
 
-  std::unordered_map<std::uint64_t, double> cache_;
-  std::unordered_map<std::uint64_t, double> mean_cache_;
+  // Returns true and fills `value` on a hit (refreshing recency).
+  bool lookup(LruMap& lru, std::uint64_t key, double& value);
+  // Inserts (evicting the LRU entry when at capacity); idempotent.
+  void insert(LruMap& lru, std::uint64_t key, double value);
+
+  template <typename Solver>
+  double lookup_or_solve(LruMap& lru, const graph::DiGraph& g,
+                         const traffic::DemandMatrix& dm,
+                         const Solver& solver);
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  LruMap cache_;
+  LruMap mean_cache_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
 };
 
 }  // namespace gddr::mcf

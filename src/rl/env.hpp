@@ -36,6 +36,11 @@ class Env {
     Observation obs;
     double reward = 0.0;
     bool done = false;
+    // True when `done` is due to a time/step limit rather than a real
+    // terminal state of the MDP.  A truncating env must fill `obs` with
+    // the terminal observation so the collector can bootstrap V(s_T)
+    // (GAE must not zero the successor value at a truncation).
+    bool truncated = false;
   };
 
   // Applies `action` (length action_dim()) and advances one timestep.

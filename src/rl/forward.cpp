@@ -1,0 +1,43 @@
+#include "rl/forward.hpp"
+
+#include <cmath>
+
+#include "nn/tape.hpp"
+
+namespace gddr::rl {
+
+PolicyForward forward_policy(Policy& policy, const Observation& obs) {
+  nn::Tape tape;
+  const int adim = policy.action_dim(obs);
+  const nn::Tape::Var mean = policy.action_mean(tape, obs);
+  const nn::Tape::Var value = policy.value(tape, obs);
+  const nn::Tape::Var log_std = policy.log_std_row(tape, adim);
+  PolicyForward fwd;
+  const nn::Tensor& mv = tape.value(mean);
+  const nn::Tensor& lv = tape.value(log_std);
+  fwd.mean.resize(static_cast<size_t>(mv.cols()));
+  fwd.log_std.resize(static_cast<size_t>(lv.cols()));
+  for (int j = 0; j < mv.cols(); ++j) {
+    fwd.mean[static_cast<size_t>(j)] = mv.at(0, j);
+  }
+  for (int j = 0; j < lv.cols(); ++j) {
+    fwd.log_std[static_cast<size_t>(j)] = lv.at(0, j);
+  }
+  fwd.value = tape.value(value).at(0, 0);
+  return fwd;
+}
+
+double action_log_prob(const std::vector<double>& action,
+                       const std::vector<double>& mean,
+                       const std::vector<double>& log_std) {
+  constexpr double kLogSqrt2Pi = 0.9189385332046727;
+  double lp = 0.0;
+  for (size_t i = 0; i < action.size(); ++i) {
+    const double sigma = std::exp(log_std[i]);
+    const double z = (action[i] - mean[i]) / sigma;
+    lp += -0.5 * z * z - log_std[i] - kLogSqrt2Pi;
+  }
+  return lp;
+}
+
+}  // namespace gddr::rl

@@ -1,0 +1,27 @@
+// One-off (no-gradient) policy forward passes, shared by the PPO trainer
+// and the vectorised collector.  A forward builds a private Tape and only
+// reads policy parameters, so concurrent calls on the same policy from
+// different threads are safe.
+#pragma once
+
+#include <vector>
+
+#include "rl/policy.hpp"
+
+namespace gddr::rl {
+
+struct PolicyForward {
+  std::vector<double> mean;
+  std::vector<double> log_std;
+  double value = 0.0;
+};
+
+// Evaluates action mean, log-std row and state value for one observation.
+PolicyForward forward_policy(Policy& policy, const Observation& obs);
+
+// Log-density of `action` under the diagonal Gaussian (mean, exp(log_std)).
+double action_log_prob(const std::vector<double>& action,
+                       const std::vector<double>& mean,
+                       const std::vector<double>& log_std);
+
+}  // namespace gddr::rl

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "nn/gaussian.hpp"
+#include "rl/forward.hpp"
 
 namespace gddr::rl {
 
@@ -13,112 +14,44 @@ using nn::Tensor;
 
 PpoTrainer::PpoTrainer(Policy& policy, Env& env, const PpoConfig& config,
                        std::uint64_t seed)
+    : PpoTrainer(policy, std::vector<Env*>{&env}, config, seed, nullptr) {}
+
+PpoTrainer::PpoTrainer(Policy& policy, std::vector<Env*> envs,
+                       const PpoConfig& config, std::uint64_t seed,
+                       util::ThreadPool* pool)
     : policy_(policy),
-      env_(env),
       config_(config),
       rng_(seed),
       optimizer_(config.learning_rate),
-      params_(policy.parameters()) {}
-
-namespace {
-
-// Per-sample mean/log-prob evaluation outside the update (no gradients
-// needed, but reusing the tape keeps one code path).
-struct Forward {
-  std::vector<double> mean;
-  std::vector<double> log_std;
-  double value = 0.0;
-};
-
-Forward forward_once(Policy& policy, const Observation& obs) {
-  Tape tape;
-  const int adim = policy.action_dim(obs);
-  const Tape::Var mean = policy.action_mean(tape, obs);
-  const Tape::Var value = policy.value(tape, obs);
-  const Tape::Var log_std = policy.log_std_row(tape, adim);
-  Forward fwd;
-  const Tensor& mv = tape.value(mean);
-  const Tensor& lv = tape.value(log_std);
-  fwd.mean.resize(static_cast<size_t>(mv.cols()));
-  fwd.log_std.resize(static_cast<size_t>(lv.cols()));
-  for (int j = 0; j < mv.cols(); ++j) fwd.mean[static_cast<size_t>(j)] = mv.at(0, j);
-  for (int j = 0; j < lv.cols(); ++j) fwd.log_std[static_cast<size_t>(j)] = lv.at(0, j);
-  fwd.value = tape.value(value).at(0, 0);
-  return fwd;
-}
-
-double log_prob_of(const std::vector<double>& action,
-                   const std::vector<double>& mean,
-                   const std::vector<double>& log_std) {
-  constexpr double kLogSqrt2Pi = 0.9189385332046727;
-  double lp = 0.0;
-  for (size_t i = 0; i < action.size(); ++i) {
-    const double sigma = std::exp(log_std[i]);
-    const double z = (action[i] - mean[i]) / sigma;
-    lp += -0.5 * z * z - log_std[i] - kLogSqrt2Pi;
-  }
-  return lp;
-}
-
-}  // namespace
+      params_(policy.parameters()),
+      collector_(policy, std::move(envs), seed, pool),
+      steps_per_env_((config.rollout_steps + collector_.num_envs() - 1) /
+                     collector_.num_envs()) {}
 
 std::vector<double> PpoTrainer::act_deterministic(const Observation& obs) {
-  return forward_once(policy_, obs).mean;
+  return forward_policy(policy_, obs).mean;
 }
 
 PpoIterationStats PpoTrainer::train_iteration() {
   RolloutBuffer buffer;
-  PpoIterationStats stats;
 
-  if (env_needs_reset_) {
-    current_obs_ = env_.reset();
-    episode_reward_acc_ = 0.0;
-    env_needs_reset_ = false;
-  }
+  const VecEnvCollector::CollectStats collected =
+      collector_.collect(steps_per_env_, config_.reward_scale, buffer);
+  total_env_steps_ += collected.steps;
 
-  double episode_reward_sum = 0.0;
-  int episodes = 0;
-
-  for (int step = 0; step < config_.rollout_steps; ++step) {
-    const Forward fwd = forward_once(policy_, current_obs_);
-    const std::vector<double> action =
-        nn::sample_diag_gaussian(fwd.mean, fwd.log_std, rng_);
-
-    StepSample sample;
-    sample.obs = current_obs_;
-    sample.action = action;
-    sample.log_prob = log_prob_of(action, fwd.mean, fwd.log_std);
-    sample.value = fwd.value;
-
-    Env::StepResult result = env_.step(action);
-    ++total_env_steps_;
-    episode_reward_acc_ += result.reward;
-    sample.reward = result.reward * config_.reward_scale;
-    sample.done = result.done;
-    buffer.add(std::move(sample));
-
-    if (result.done) {
-      episode_reward_sum += episode_reward_acc_;
-      ++episodes;
-      current_obs_ = env_.reset();
-      episode_reward_acc_ = 0.0;
-    } else {
-      current_obs_ = std::move(result.obs);
-    }
-  }
-
-  // Bootstrap the tail value and compute advantages.
-  const double last_value =
-      buffer.samples().back().done ? 0.0
-                                   : forward_once(policy_, current_obs_).value;
-  buffer.compute_gae(config_.gamma, config_.gae_lambda, last_value,
+  // Every env segment's tail carries its own bootstrap (truncated /
+  // bootstrap_value, set by the collector), so no trailing last_value is
+  // needed here.
+  buffer.compute_gae(config_.gamma, config_.gae_lambda, /*last_value=*/0.0,
                      config_.normalize_advantages);
 
-  stats = update(buffer);
-  stats.steps = config_.rollout_steps;
-  stats.episodes = episodes;
+  PpoIterationStats stats = update(buffer);
+  stats.steps = collected.steps;
+  stats.episodes = collected.episodes;
   stats.mean_episode_reward =
-      episodes > 0 ? episode_reward_sum / episodes : 0.0;
+      collected.episodes > 0
+          ? collected.episode_reward_sum / collected.episodes
+          : 0.0;
   return stats;
 }
 

@@ -9,17 +9,20 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "nn/optimizer.hpp"
 #include "rl/env.hpp"
 #include "rl/policy.hpp"
 #include "rl/rollout.hpp"
+#include "rl/vec_env.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gddr::rl {
 
 struct PpoConfig {
-  int rollout_steps = 256;   // environment steps per update
+  int rollout_steps = 256;   // environment steps per update (across envs)
   int epochs = 4;            // optimisation passes over each rollout
   int minibatch_size = 64;
   double gamma = 0.99;       // discount
@@ -52,6 +55,16 @@ class PpoTrainer {
   PpoTrainer(Policy& policy, Env& env, const PpoConfig& config,
              std::uint64_t seed);
 
+  // Vectorised collection: the rollout of each iteration is gathered from
+  // every env (ceil(rollout_steps / envs.size()) steps each) via a
+  // VecEnvCollector — concurrently when `pool` is non-null, and always
+  // merged env-major so the update sees bit-identical data for any worker
+  // count.  The PPO update itself stays serial (it is a sequential
+  // optimisation).  `policy`, the envs and `pool` must outlive the
+  // trainer.
+  PpoTrainer(Policy& policy, std::vector<Env*> envs, const PpoConfig& config,
+             std::uint64_t seed, util::ThreadPool* pool = nullptr);
+
   // Collects one rollout and performs the PPO update.
   PpoIterationStats train_iteration();
 
@@ -69,15 +82,13 @@ class PpoTrainer {
   PpoIterationStats update(RolloutBuffer& buffer);
 
   Policy& policy_;
-  Env& env_;
   PpoConfig config_;
-  util::Rng rng_;
+  util::Rng rng_;  // minibatch shuffling
   nn::Adam optimizer_;
   std::vector<nn::Parameter*> params_;
+  VecEnvCollector collector_;
+  int steps_per_env_;
 
-  bool env_needs_reset_ = true;
-  Observation current_obs_;
-  double episode_reward_acc_ = 0.0;
   long total_env_steps_ = 0;
 };
 

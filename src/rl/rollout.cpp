@@ -11,9 +11,16 @@ void RolloutBuffer::compute_gae(double gamma, double lambda,
   double next_advantage = 0.0;
   for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
     StepSample& s = *it;
-    const double not_done = s.done ? 0.0 : 1.0;
-    const double delta = s.reward + gamma * next_value * not_done - s.value;
-    s.advantage = delta + gamma * lambda * not_done * next_advantage;
+    // Successor value: 0 past a true terminal, the recorded V(s_T) past a
+    // truncation (time limit / rollout or env-segment boundary), else the
+    // next stored sample's value.  The advantage recursion restarts at
+    // both kinds of boundary — only the value bootstrap differs.
+    const bool boundary = s.done || s.truncated;
+    const double succ_value =
+        s.truncated ? s.bootstrap_value : (s.done ? 0.0 : next_value);
+    const double delta = s.reward + gamma * succ_value - s.value;
+    s.advantage =
+        delta + (boundary ? 0.0 : gamma * lambda * next_advantage);
     s.return_ = s.advantage + s.value;
     next_value = s.value;
     next_advantage = s.advantage;

@@ -14,6 +14,14 @@ struct StepSample {
   double value = 0.0;     // V(obs) at collection time
   double reward = 0.0;
   bool done = false;
+  // True when the episode (or the collection window) was cut short rather
+  // than reaching a real terminal state — a time-limit truncation, the end
+  // of a rollout mid-episode, or an env-segment boundary in vectorised
+  // collection.  A truncated step bootstraps its successor value from
+  // `bootstrap_value` (= V of the next/terminal observation, recorded at
+  // collection time) instead of the 0 a true terminal gets.
+  bool truncated = false;
+  double bootstrap_value = 0.0;
   // Filled in by compute_gae():
   double advantage = 0.0;
   double return_ = 0.0;
@@ -28,9 +36,12 @@ class RolloutBuffer {
   const std::vector<StepSample>& samples() const { return samples_; }
 
   // GAE(lambda) over the stored trajectory (a single stream of steps;
-  // `done` flags delimit episodes).  `last_value` bootstraps the value of
-  // the state following the final stored step (0 if that step ended an
-  // episode).  Optionally normalises advantages to zero mean / unit std.
+  // `done` / `truncated` flags delimit episodes).  A terminal step's
+  // successor value is 0; a truncated step's is its own
+  // `bootstrap_value`; in both cases the advantage recursion restarts.
+  // `last_value` bootstraps the state following the final stored step when
+  // that step is neither terminal nor truncated.  Optionally normalises
+  // advantages to zero mean / unit std.
   void compute_gae(double gamma, double lambda, double last_value,
                    bool normalize_advantages);
 

@@ -1,0 +1,69 @@
+// Vectorised experience collection: N independent environment instances
+// stepped concurrently under one behaviour policy.
+//
+// Determinism contract (see DESIGN.md): each env owns a private RNG
+// stream derived from (seed, env index) at construction, each worker task
+// touches only its own env slot, and the per-env trajectories are merged
+// into the rollout buffer in canonical *env-major* order (all of env 0's
+// steps, then env 1's, ...).  The collected buffer is therefore
+// bit-identical for any worker count — a 16-thread pool and plain serial
+// execution produce the same bytes.
+//
+// Episode/segment boundaries: an env whose segment ends mid-episode, or
+// whose episode was cut by a time limit (StepResult::truncated), has its
+// final sample marked truncated with bootstrap_value = V(next/terminal
+// observation), so one compute_gae() pass over the merged buffer treats
+// every boundary correctly (no zeroed bootstraps at truncations, no
+// advantage leakage across env segments).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rl/env.hpp"
+#include "rl/policy.hpp"
+#include "rl/rollout.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gddr::rl {
+
+class VecEnvCollector {
+ public:
+  // `policy`, the envs and `pool` must outlive the collector.  `pool` may
+  // be null (serial collection).  Env state (current observation, episode
+  // reward) persists across collect() calls, exactly like the serial
+  // trainer's.
+  VecEnvCollector(Policy& policy, std::vector<Env*> envs, std::uint64_t seed,
+                  util::ThreadPool* pool = nullptr);
+
+  int num_envs() const { return static_cast<int>(slots_.size()); }
+
+  struct CollectStats {
+    int steps = 0;     // total env steps appended (num_envs * steps_per_env)
+    int episodes = 0;  // episodes completed during collection
+    double episode_reward_sum = 0.0;  // unscaled, over completed episodes
+  };
+
+  // Steps every env `steps_per_env` times, sampling actions from the
+  // policy, and appends the trajectories to `buffer` env-major.  Rewards
+  // are scaled by `reward_scale` in the stored samples; episode-reward
+  // stats stay unscaled.
+  CollectStats collect(int steps_per_env, double reward_scale,
+                       RolloutBuffer& buffer);
+
+ private:
+  struct EnvSlot {
+    Env* env = nullptr;
+    util::Rng rng;  // private action-sampling stream
+    Observation obs;
+    bool needs_reset = true;
+    double episode_reward = 0.0;  // unscaled, accumulating
+  };
+
+  Policy& policy_;
+  util::ThreadPool* pool_;
+  std::vector<EnvSlot> slots_;
+};
+
+}  // namespace gddr::rl

@@ -6,6 +6,11 @@
 //   gddr_cli optimal <topology> [seed]    optimal congestion for a random DM
 //   gddr_cli route <topology> [gamma]     softmin routing vs baselines
 //   gddr_cli tables <topology> [gamma]    per-switch flow tables
+//   gddr_cli eval <topology> [seed]       baseline schemes vs the LP optimum
+//                                         over generated test sequences
+//
+// All commands accept --workers N (default: hardware concurrency) to size
+// the thread pool used by parallel evaluation.
 //
 // Topologies may name a catalogue entry or be a path to a
 // gddr-topology file (see src/topo/io.hpp).
@@ -15,6 +20,8 @@
 #include <cstring>
 #include <string>
 
+#include "core/evaluate.hpp"
+#include "core/experiment.hpp"
 #include "graph/algorithms.hpp"
 #include "mcf/mean_util.hpp"
 #include "mcf/optimal.hpp"
@@ -25,6 +32,7 @@
 #include "topo/zoo.hpp"
 #include "traffic/generators.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -145,15 +153,61 @@ int cmd_tables(const std::string& spec, double gamma) {
   return 0;
 }
 
+int cmd_eval(const std::string& spec, std::uint64_t seed,
+             util::ThreadPool& pool) {
+  using namespace gddr::core;
+  util::Rng rng(seed);
+  ScenarioParams params = experiment_scenario_params();
+  params.train_sequences = 1;
+  params.test_sequences = 2;
+  const Scenario scenario = make_scenario(resolve_topology(spec), params, rng);
+  const int memory = 5;
+  mcf::OptimalCache cache;
+
+  std::printf("%s: %d nodes, %d directed edges; %d test sequences, "
+              "%d worker(s)\n",
+              scenario.graph.name().c_str(), scenario.graph.num_nodes(),
+              scenario.graph.num_edges(), params.test_sequences,
+              pool.size() > 0 ? pool.size() : 1);
+
+  util::Table table({"scheme", "mean ratio", "stddev", "max", "DMs"});
+  auto row = [&](const std::string& label, const EvalResult& r) {
+    table.add_row({label, util::fmt(r.mean_ratio), util::fmt(r.stddev),
+                   util::fmt(r.max_ratio), std::to_string(r.steps)});
+  };
+  row("shortest path",
+      evaluate_shortest_path({scenario}, memory, cache, &pool));
+  row("ECMP", evaluate_fixed(
+                  {scenario}, memory, cache,
+                  [](const graph::DiGraph& gr) {
+                    return routing::ecmp_routing(gr, graph::unit_weights(gr));
+                  },
+                  &pool));
+  row("softmin (neutral)",
+      evaluate_fixed(
+          {scenario}, memory, cache,
+          [](const graph::DiGraph& gr) {
+            const std::vector<double> w(
+                static_cast<size_t>(gr.num_edges()), 1.0);
+            return routing::softmin_routing(gr, w);
+          },
+          &pool));
+  table.print();
+  std::printf("LP cache: %zu entries, %zu hits, %zu misses\n", cache.size(),
+              cache.hits(), cache.misses());
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: gddr_cli <command> [...]\n"
+               "usage: gddr_cli [--workers N] <command> [...]\n"
                "  topos\n"
                "  show <topology>\n"
                "  export <topology> <file>\n"
                "  optimal <topology> [seed]\n"
                "  route <topology> [gamma]\n"
                "  tables <topology> [gamma]\n"
+               "  eval <topology> [seed]\n"
                "<topology> is a catalogue name (see 'topos') or a "
                "gddr-topology file path.\n");
   return 2;
@@ -162,9 +216,17 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  int workers = 0;
+  try {
+    workers = util::consume_workers_flag(argc, argv);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 2;
+  }
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
+    util::ThreadPool pool(workers);
     if (command == "topos") return cmd_topos();
     if (command == "show" && argc >= 3) return cmd_show(argv[2]);
     if (command == "export" && argc >= 4) return cmd_export(argv[2], argv[3]);
@@ -177,6 +239,11 @@ int main(int argc, char** argv) {
     }
     if (command == "tables" && argc >= 3) {
       return cmd_tables(argv[2], argc >= 4 ? std::atof(argv[3]) : 2.0);
+    }
+    if (command == "eval" && argc >= 3) {
+      return cmd_eval(argv[2],
+                      argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 1,
+                      pool);
     }
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());
