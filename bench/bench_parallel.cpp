@@ -7,9 +7,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <memory>
 #include <thread>
 #include <vector>
+
+#include "util/fs.hpp"
 
 #include "core/evaluate.hpp"
 #include "core/experiment.hpp"
@@ -159,11 +162,10 @@ int main(int argc, char** argv) {
               eval_identical ? "yes" : "NO — DETERMINISM VIOLATION");
 
   const double best_speedup = std::max(collect_speedup, eval_speedup);
-  std::FILE* out = std::fopen("BENCH_parallel.json", "w");
-  if (out != nullptr) {
-    std::fprintf(
-        out,
-        "{\n"
+  char json[2048];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
         "  \"workers\": %d,\n"
         "  \"hardware_concurrency\": %u,\n"
         "  \"vec_envs\": %d,\n"
@@ -192,15 +194,17 @@ int main(int argc, char** argv) {
         eval_serial.seconds, eval_parallel.seconds, eval_speedup,
         eval_identical ? "true" : "false", eval_serial.result.mean_ratio,
         best_speedup, best_speedup >= 2.0 ? "true" : "false",
-        hardware >= 2
-            ? "speedup measured against the inline serial path"
-            : "single-core host: speedup > 1 unattainable; run verifies "
-              "determinism and bounds threading overhead");
-    std::fclose(out);
+      hardware >= 2
+          ? "speedup measured against the inline serial path"
+          : "single-core host: speedup > 1 unattainable; run verifies "
+            "determinism and bounds threading overhead");
+  try {
+    gddr::util::write_file_atomic("BENCH_parallel.json", json);
     std::printf("\nwrote BENCH_parallel.json (best speedup %.2fx)\n",
                 best_speedup);
-  } else {
-    std::fprintf(stderr, "could not write BENCH_parallel.json\n");
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "could not write BENCH_parallel.json: %s\n",
+                 ex.what());
   }
 
   const bool ok = collect_identical && eval_identical;

@@ -2,7 +2,11 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "util/fault.hpp"
 
 namespace gddr::core {
 
@@ -86,6 +90,49 @@ long bench_train_steps(long default_steps) {
     if (std::string(scale) == "paper") return 500000;
   }
   return default_steps;
+}
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config)) {
+  if (config_.num_envs <= 0) {
+    throw std::invalid_argument("Experiment: num_envs <= 0");
+  }
+  if (config_.checkpoint_every_iterations <= 0) {
+    throw std::invalid_argument(
+        "Experiment: checkpoint_every_iterations <= 0");
+  }
+  envs_ = make_vec_envs(config_.scenarios, config_.env, config_.train_seed,
+                        config_.num_envs);
+  util::Rng policy_rng(config_.policy_seed);
+  policy_ = std::make_unique<GnnPolicy>(config_.policy, policy_rng);
+  std::vector<rl::Env*> env_ptrs;
+  env_ptrs.reserve(envs_.size());
+  for (const auto& env : envs_) env_ptrs.push_back(env.get());
+  trainer_ = std::make_unique<rl::PpoTrainer>(
+      *policy_, std::move(env_ptrs), config_.ppo, config_.train_seed);
+}
+
+std::vector<rl::PpoIterationStats> Experiment::train(long total_steps) {
+  std::vector<rl::PpoIterationStats> history;
+  const long target = trainer_->total_env_steps() + total_steps;
+  while (trainer_->total_env_steps() < target) {
+    // The abort site fires between iterations — after the previous
+    // checkpoint landed — which is exactly where a SIGKILL would leave a
+    // production run.
+    if (util::inject(util::FaultSite::kTrainAbort)) {
+      throw std::runtime_error("Experiment: fault-injected training abort");
+    }
+    history.push_back(trainer_->train_iteration());
+    if (!config_.checkpoint_path.empty() &&
+        trainer_->iterations() % config_.checkpoint_every_iterations == 0) {
+      trainer_->save_checkpoint(config_.checkpoint_path);
+    }
+  }
+  return history;
+}
+
+void Experiment::resume_from(const std::string& checkpoint_path) {
+  trainer_->load_checkpoint(checkpoint_path);
 }
 
 }  // namespace gddr::core

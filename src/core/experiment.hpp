@@ -21,7 +21,12 @@
 //    is reproduced with sparse pairs and a strong mouse/elephant split.
 #pragma once
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "core/policies.hpp"
+#include "core/routing_env.hpp"
 #include "core/scenario.hpp"
 #include "rl/ppo.hpp"
 
@@ -46,5 +51,60 @@ MlpPolicyConfig experiment_mlp_config();
 // minutes.  Override with GDDR_TRAIN_STEPS=<n> or GDDR_BENCH_SCALE=paper
 // (which selects 500k).
 long bench_train_steps(long default_steps);
+
+// ---- fault-tolerant training runtime ----
+
+struct ExperimentConfig {
+  std::vector<Scenario> scenarios;
+  EnvConfig env;
+  GnnPolicyConfig policy;
+  rl::PpoConfig ppo;
+  int num_envs = 4;
+  // policy_seed drives weight initialisation; train_seed drives the
+  // trainer's shuffle RNG, every collector action stream and every env's
+  // scenario sampling — together they pin the whole run.
+  std::uint64_t policy_seed = 1;
+  std::uint64_t train_seed = 2;
+  // Checkpointing: every `checkpoint_every_iterations` PPO iterations the
+  // complete training state is written atomically to `checkpoint_path`
+  // (empty path = no checkpointing).  A crash between writes loses at
+  // most that many iterations; a crash *during* a write loses nothing
+  // (tmp + fsync + rename keeps the previous checkpoint intact).
+  std::string checkpoint_path;
+  long checkpoint_every_iterations = 1;
+};
+
+// Owns the full GNN training stack (vectorised RoutingEnvs with a shared
+// LP cache, a GnnPolicy, a PpoTrainer) and runs it fault-tolerantly:
+// periodic atomic checkpoints during train(), resume_from() to continue a
+// killed run.  Because checkpoints capture every RNG stream and counter,
+// a resumed run is bit-identical to the uninterrupted one.
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+
+  // Trains until at least `total_steps` *additional* environment steps
+  // have been taken, checkpointing per the config.  Returns per-iteration
+  // stats.  The train_abort fault site (util::FaultInjector) throws
+  // between iterations — after the periodic checkpoint — which is how
+  // tests kill a run at a chosen point.
+  std::vector<rl::PpoIterationStats> train(long total_steps);
+
+  // Restores the full training state from a checkpoint written by a
+  // config-compatible Experiment.  Throws util::IoError (naming the
+  // offending field) on corrupt or mismatched files.
+  void resume_from(const std::string& checkpoint_path);
+
+  GnnPolicy& policy() { return *policy_; }
+  rl::PpoTrainer& trainer() { return *trainer_; }
+  RoutingEnv& env(int i) { return *envs_[static_cast<std::size_t>(i)]; }
+  int num_envs() const { return static_cast<int>(envs_.size()); }
+
+ private:
+  ExperimentConfig config_;
+  std::vector<std::unique_ptr<RoutingEnv>> envs_;
+  std::unique_ptr<GnnPolicy> policy_;
+  std::unique_ptr<rl::PpoTrainer> trainer_;
+};
 
 }  // namespace gddr::core

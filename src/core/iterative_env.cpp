@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
+#include "nn/serialize.hpp"
+#include "rl/checkpoint.hpp"
 #include "routing/routing.hpp"
+#include "util/error.hpp"
 
 namespace gddr::core {
 
@@ -200,6 +204,122 @@ rl::Env::StepResult IterativeRoutingEnv::step(std::span<const double> action) {
   result.done = true;
   if (t_ >= static_cast<int>(seq.size())) in_sequence_ = false;
   return result;
+}
+
+namespace {
+constexpr std::uint32_t kIterativeEnvStateVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> IterativeRoutingEnv::save_state() const {
+  std::ostringstream os;
+  nn::write_pod(os, kIterativeEnvStateVersion);
+  rl::write_rng_state(os, rng_);
+  nn::write_pod(os, static_cast<std::uint8_t>(mode_ == Mode::kTest ? 1 : 0));
+  nn::write_pod(os, static_cast<std::uint64_t>(scenario_idx_));
+  nn::write_pod(os, static_cast<std::uint64_t>(sequence_idx_));
+  nn::write_pod(os, static_cast<std::uint64_t>(test_cursor_));
+  nn::write_pod(os, static_cast<std::uint8_t>(in_sequence_ ? 1 : 0));
+  nn::write_pod(os, static_cast<std::int32_t>(t_));
+  nn::write_pod(os, static_cast<std::int32_t>(edge_cursor_));
+  nn::write_pod(os, static_cast<std::uint64_t>(pending_weights_.size()));
+  for (const double w : pending_weights_) nn::write_pod(os, w);
+  nn::write_pod(os, last_ratio_);
+  const std::string bytes = std::move(os).str();
+  return {bytes.begin(), bytes.end()};
+}
+
+void IterativeRoutingEnv::restore_state(std::span<const std::uint8_t> blob) {
+  std::istringstream is(std::string(blob.begin(), blob.end()));
+
+  const auto version =
+      nn::read_pod<std::uint32_t>(is, "IterativeRoutingEnv state version");
+  if (version != kIterativeEnvStateVersion) {
+    throw util::IoError("unsupported IterativeRoutingEnv state version " +
+                        std::to_string(version));
+  }
+  util::Rng rng(0);
+  rl::read_rng_state(is, rng, "IterativeRoutingEnv rng");
+  const auto mode_flag =
+      nn::read_pod<std::uint8_t>(is, "IterativeRoutingEnv mode");
+  if (mode_flag > 1) {
+    throw util::IoError("corrupt value in field 'IterativeRoutingEnv mode'");
+  }
+  const Mode mode = mode_flag != 0 ? Mode::kTest : Mode::kTrain;
+  const auto scenario_idx =
+      nn::read_pod<std::uint64_t>(is, "IterativeRoutingEnv scenario index");
+  const auto sequence_idx =
+      nn::read_pod<std::uint64_t>(is, "IterativeRoutingEnv sequence index");
+  const auto test_cursor =
+      nn::read_pod<std::uint64_t>(is, "IterativeRoutingEnv test cursor");
+  const auto in_sequence_flag =
+      nn::read_pod<std::uint8_t>(is, "IterativeRoutingEnv in_sequence");
+  if (in_sequence_flag > 1) {
+    throw util::IoError(
+        "corrupt value in field 'IterativeRoutingEnv in_sequence'");
+  }
+  const auto t = nn::read_pod<std::int32_t>(is, "IterativeRoutingEnv t");
+  const auto edge_cursor =
+      nn::read_pod<std::int32_t>(is, "IterativeRoutingEnv edge cursor");
+  const auto pending_count = nn::read_pod<std::uint64_t>(
+      is, "IterativeRoutingEnv pending weight count");
+  if (pending_count > (1ULL << 24)) {
+    throw util::IoError(
+        "implausible count in field 'IterativeRoutingEnv pending weight "
+        "count'");
+  }
+  std::vector<double> pending(static_cast<std::size_t>(pending_count));
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    pending[i] =
+        nn::read_pod<double>(is, "IterativeRoutingEnv pending weights");
+  }
+  const auto last_ratio =
+      nn::read_pod<double>(is, "IterativeRoutingEnv last ratio");
+  if (is.peek() != std::istream::traits_type::eof()) {
+    throw util::IoError("trailing bytes after IterativeRoutingEnv state");
+  }
+
+  if (scenario_idx >= scenarios_.size()) {
+    throw util::IoError("IterativeRoutingEnv scenario index " +
+                        std::to_string(scenario_idx) + " out of range (" +
+                        std::to_string(scenarios_.size()) + " scenarios)");
+  }
+  const Scenario& scenario = scenarios_[static_cast<std::size_t>(scenario_idx)];
+  const auto& sequences = mode == Mode::kTrain ? scenario.train_sequences
+                                               : scenario.test_sequences;
+  if (sequence_idx >= sequences.size()) {
+    throw util::IoError("IterativeRoutingEnv sequence index " +
+                        std::to_string(sequence_idx) + " out of range");
+  }
+  const auto seq_len =
+      static_cast<std::int32_t>(sequences[sequence_idx].size());
+  if (t < 0 || t > seq_len) {
+    throw util::IoError("IterativeRoutingEnv t " + std::to_string(t) +
+                        " out of range [0, " + std::to_string(seq_len) + "]");
+  }
+  const auto edges =
+      static_cast<std::uint64_t>(scenario.graph.num_edges());
+  if (pending_count != 0 && pending_count != edges) {
+    throw util::IoError(
+        "IterativeRoutingEnv pending weight count " +
+        std::to_string(pending_count) + " does not match scenario edges (" +
+        std::to_string(edges) + ")");
+  }
+  if (edge_cursor < 0 ||
+      static_cast<std::uint64_t>(edge_cursor) > pending_count) {
+    throw util::IoError("IterativeRoutingEnv edge cursor " +
+                        std::to_string(edge_cursor) + " out of range");
+  }
+
+  rng_ = rng;
+  mode_ = mode;
+  scenario_idx_ = static_cast<std::size_t>(scenario_idx);
+  sequence_idx_ = static_cast<std::size_t>(sequence_idx);
+  test_cursor_ = static_cast<std::size_t>(test_cursor);
+  in_sequence_ = in_sequence_flag != 0;
+  t_ = t;
+  edge_cursor_ = edge_cursor;
+  pending_weights_ = std::move(pending);
+  last_ratio_ = last_ratio;
 }
 
 }  // namespace gddr::core

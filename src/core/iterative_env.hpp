@@ -54,6 +54,11 @@ class IterativeRoutingEnv final : public rl::Env {
   StepResult step(std::span<const double> action) override;
   int action_dim() const override { return 2; }
 
+  // Checkpoint support (see RoutingEnv): adds the mid-DM micro-step
+  // position (edge cursor and pending weight vector) to the base state.
+  std::vector<std::uint8_t> save_state() const override;
+  void restore_state(std::span<const std::uint8_t> blob) override;
+
   double last_ratio() const { return last_ratio_; }
   const graph::DiGraph& current_graph() const;
   // Micro-steps per demand-matrix timestep (= current |E|).

@@ -1,9 +1,13 @@
 #include "core/routing_env.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
+#include "nn/serialize.hpp"
+#include "rl/checkpoint.hpp"
 #include "routing/baselines.hpp"
 #include "routing/routing.hpp"
+#include "util/error.hpp"
 
 namespace gddr::core {
 
@@ -236,6 +240,87 @@ rl::Env::StepResult RoutingEnv::step(std::span<const double> action) {
   result.obs = build_observation(current_scenario(), seq, t_,
                                  config_.memory, config_.node_features);
   return result;
+}
+
+namespace {
+constexpr std::uint32_t kEnvStateVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> RoutingEnv::save_state() const {
+  std::ostringstream os;
+  nn::write_pod(os, kEnvStateVersion);
+  rl::write_rng_state(os, rng_);
+  nn::write_pod(os, static_cast<std::uint8_t>(mode_ == Mode::kTest ? 1 : 0));
+  nn::write_pod(os, static_cast<std::uint64_t>(scenario_idx_));
+  nn::write_pod(os, static_cast<std::uint64_t>(sequence_idx_));
+  nn::write_pod(os, static_cast<std::uint64_t>(test_cursor_));
+  nn::write_pod(os, static_cast<std::int32_t>(t_));
+  nn::write_pod(os, static_cast<std::int32_t>(episode_steps_));
+  nn::write_pod(os, last_ratio_);
+  const std::string bytes = std::move(os).str();
+  return {bytes.begin(), bytes.end()};
+}
+
+void RoutingEnv::restore_state(std::span<const std::uint8_t> blob) {
+  std::istringstream is(std::string(blob.begin(), blob.end()));
+
+  const auto version =
+      nn::read_pod<std::uint32_t>(is, "RoutingEnv state version");
+  if (version != kEnvStateVersion) {
+    throw util::IoError("unsupported RoutingEnv state version " +
+                        std::to_string(version));
+  }
+  util::Rng rng(0);
+  rl::read_rng_state(is, rng, "RoutingEnv rng");
+  const auto mode_flag = nn::read_pod<std::uint8_t>(is, "RoutingEnv mode");
+  if (mode_flag > 1) {
+    throw util::IoError("corrupt value in field 'RoutingEnv mode'");
+  }
+  const Mode mode = mode_flag != 0 ? Mode::kTest : Mode::kTrain;
+  const auto scenario_idx =
+      nn::read_pod<std::uint64_t>(is, "RoutingEnv scenario index");
+  const auto sequence_idx =
+      nn::read_pod<std::uint64_t>(is, "RoutingEnv sequence index");
+  const auto test_cursor =
+      nn::read_pod<std::uint64_t>(is, "RoutingEnv test cursor");
+  const auto t = nn::read_pod<std::int32_t>(is, "RoutingEnv t");
+  const auto episode_steps =
+      nn::read_pod<std::int32_t>(is, "RoutingEnv episode steps");
+  const auto last_ratio = nn::read_pod<double>(is, "RoutingEnv last ratio");
+  if (is.peek() != std::istream::traits_type::eof()) {
+    throw util::IoError("trailing bytes after RoutingEnv state");
+  }
+
+  if (scenario_idx >= scenarios_.size()) {
+    throw util::IoError("RoutingEnv scenario index " +
+                        std::to_string(scenario_idx) + " out of range (" +
+                        std::to_string(scenarios_.size()) + " scenarios)");
+  }
+  const Scenario& scenario = scenarios_[static_cast<std::size_t>(scenario_idx)];
+  const auto& sequences = mode == Mode::kTrain ? scenario.train_sequences
+                                               : scenario.test_sequences;
+  if (sequence_idx >= sequences.size()) {
+    throw util::IoError("RoutingEnv sequence index " +
+                        std::to_string(sequence_idx) + " out of range");
+  }
+  const auto seq_len =
+      static_cast<std::int32_t>(sequences[sequence_idx].size());
+  if (t < 0 || t > seq_len) {
+    throw util::IoError("RoutingEnv t " + std::to_string(t) +
+                        " out of range [0, " + std::to_string(seq_len) + "]");
+  }
+  if (episode_steps < 0) {
+    throw util::IoError("negative value in field 'RoutingEnv episode steps'");
+  }
+
+  rng_ = rng;
+  mode_ = mode;
+  scenario_idx_ = static_cast<std::size_t>(scenario_idx);
+  sequence_idx_ = static_cast<std::size_t>(sequence_idx);
+  test_cursor_ = static_cast<std::size_t>(test_cursor);
+  t_ = t;
+  episode_steps_ = episode_steps;
+  last_ratio_ = last_ratio;
 }
 
 std::vector<std::unique_ptr<RoutingEnv>> make_vec_envs(

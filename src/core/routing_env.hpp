@@ -87,6 +87,14 @@ class RoutingEnv final : public rl::Env {
   StepResult step(std::span<const double> action) override;
   int action_dim() const override;
 
+  // Checkpoint support (rl::Env contract): the complete dynamic state —
+  // sampling RNG, mode, scenario/sequence/test cursors, episode position
+  // — as an opaque blob.  restore_state validates every field against the
+  // configured scenarios and throws util::IoError naming the offending
+  // field, leaving the env unchanged on failure.
+  std::vector<std::uint8_t> save_state() const override;
+  void restore_state(std::span<const std::uint8_t> blob) override;
+
   // U_max_agent / U_max_optimal of the most recent step (the quantity the
   // paper's Figures 6 and 8 plot; reward is its negation).
   double last_ratio() const { return last_ratio_; }

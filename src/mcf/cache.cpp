@@ -1,10 +1,10 @@
 #include "mcf/cache.hpp"
 
 #include <bit>
-#include <stdexcept>
 
 #include "mcf/mean_util.hpp"
 #include "mcf/optimal.hpp"
+#include "util/error.hpp"
 
 namespace gddr::mcf {
 namespace {
@@ -54,6 +54,8 @@ OptimalCache::OptimalCache(const OptimalCache& other) {
   hits_ = other.hits_;
   misses_ = other.misses_;
   evictions_ = other.evictions_;
+  exact_solves_ = other.exact_solves_;
+  approx_solves_ = other.approx_solves_;
   // The copied Entry::recency iterators point into the copied lists'
   // nodes only by accident of std::list copying order — rebuild them.
   for (LruMap* lru : {&cache_, &mean_cache_}) {
@@ -73,6 +75,8 @@ OptimalCache& OptimalCache::operator=(const OptimalCache& other) {
   hits_ = copy.hits_;
   misses_ = copy.misses_;
   evictions_ = copy.evictions_;
+  exact_solves_ = copy.exact_solves_;
+  approx_solves_ = copy.approx_solves_;
   return *this;
 }
 
@@ -132,8 +136,16 @@ double OptimalCache::u_max(const graph::DiGraph& g,
                            const traffic::DemandMatrix& dm) {
   return lookup_or_solve(cache_, g, dm, [&] {
     const OptimalResult result = solve_optimal(g, dm);
-    if (!result.feasible) {
-      throw std::runtime_error("OptimalCache: LP infeasible/unsolved");
+    if (result.provenance == SolveProvenance::kFailed) {
+      throw util::SolverError("OptimalCache: LP infeasible/unsolved");
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (result.provenance == SolveProvenance::kExact) {
+        ++exact_solves_;
+      } else {
+        ++approx_solves_;
+      }
     }
     return result.u_max;
   });
@@ -159,6 +171,16 @@ std::size_t OptimalCache::evictions() const {
   return evictions_;
 }
 
+std::size_t OptimalCache::exact_solves() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return exact_solves_;
+}
+
+std::size_t OptimalCache::approx_solves() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return approx_solves_;
+}
+
 void OptimalCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   cache_.map.clear();
@@ -168,6 +190,8 @@ void OptimalCache::clear() {
   hits_ = 0;
   misses_ = 0;
   evictions_ = 0;
+  exact_solves_ = 0;
+  approx_solves_ = 0;
 }
 
 }  // namespace gddr::mcf

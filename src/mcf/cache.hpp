@@ -45,7 +45,9 @@ class OptimalCache {
   OptimalCache& operator=(const OptimalCache& other);
 
   // Optimal U_max for (g, dm), computed on first use via solve_optimal.
-  // Throws std::runtime_error if the LP is not solvable (cannot happen for
+  // A simplex breakdown degrades to the FPTAS (see mcf::SolveOptions)
+  // rather than aborting; only a kFailed result — unroutable demand —
+  // throws util::SolverError (a std::runtime_error; cannot happen for
   // strongly connected graphs with finite demands).
   double u_max(const graph::DiGraph& g, const traffic::DemandMatrix& dm);
 
@@ -60,6 +62,11 @@ class OptimalCache {
   std::size_t hits() const;
   std::size_t misses() const;
   std::size_t evictions() const;
+  // Provenance of the u_max solves performed on cache misses: how many
+  // came back exact (simplex) vs approximate (FPTAS fallback).  A nonzero
+  // approximate count means some cached optima carry the FPTAS ε-bound.
+  std::size_t exact_solves() const;
+  std::size_t approx_solves() const;
   void clear();
 
  private:
@@ -94,6 +101,8 @@ class OptimalCache {
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
   std::size_t evictions_ = 0;
+  std::size_t exact_solves_ = 0;
+  std::size_t approx_solves_ = 0;
 };
 
 }  // namespace gddr::mcf

@@ -1,8 +1,11 @@
 #include "mcf/optimal.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "lp/simplex.hpp"
+#include "mcf/fptas.hpp"
+#include "util/fault.hpp"
 
 namespace gddr::mcf {
 
@@ -11,7 +14,20 @@ using graph::EdgeId;
 using graph::NodeId;
 using traffic::DemandMatrix;
 
-OptimalResult solve_optimal(const DiGraph& g, const DemandMatrix& dm) {
+const char* to_string(SolveProvenance provenance) {
+  switch (provenance) {
+    case SolveProvenance::kExact:
+      return "exact";
+    case SolveProvenance::kApproximate:
+      return "approximate";
+    case SolveProvenance::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+OptimalResult solve_optimal(const DiGraph& g, const DemandMatrix& dm,
+                            const SolveOptions& options) {
   if (dm.num_nodes() != g.num_nodes()) {
     throw std::invalid_argument("solve_optimal: demand/graph size mismatch");
   }
@@ -28,6 +44,7 @@ OptimalResult solve_optimal(const DiGraph& g, const DemandMatrix& dm) {
   result.flow_by_dest.assign(static_cast<size_t>(n), {});
   if (dests.empty()) {
     result.feasible = true;
+    result.provenance = SolveProvenance::kExact;
     result.u_max = 0.0;
     return result;
   }
@@ -62,12 +79,45 @@ OptimalResult solve_optimal(const DiGraph& g, const DemandMatrix& dm) {
     prog.add_constraint(terms, lp::Relation::kLe, 0.0);
   }
 
-  const lp::Solution sol = prog.solve();
-  if (sol.status != lp::SolveStatus::kOptimal) {
+  // Fault injection (site lp_solve) simulates a simplex breakdown so
+  // tests can exercise the fallback chain deterministically.
+  lp::Solution sol;
+  if (util::inject(util::FaultSite::kLpSolve)) {
+    sol.status = lp::SolveStatus::kIterationLimit;
+  } else {
+    lp::LinearProgram::Options lp_options;
+    lp_options.max_iterations = options.max_simplex_iterations;
+    sol = prog.solve(lp_options);
+  }
+
+  if (sol.status == lp::SolveStatus::kInfeasible) {
+    // Unroutable demand: the FPTAS cannot route it either, so this is a
+    // genuine failure, not a fallback case.
     result.feasible = false;
+    result.provenance = SolveProvenance::kFailed;
+    return result;
+  }
+  if (sol.status != lp::SolveStatus::kOptimal) {
+    // Iteration budget exhausted, numerical stall or injected fault —
+    // degrade to the Fleischer FPTAS.  It yields only U_max (no flow
+    // decomposition), within a 1/(1 - 3*eps) factor of optimal.
+    if (options.allow_fptas_fallback) {
+      FptasOptions fptas;
+      fptas.epsilon = options.fptas_epsilon;
+      const double u_approx = approx_optimal_u_max(g, dm, fptas);
+      if (std::isfinite(u_approx) && u_approx > 0.0) {
+        result.feasible = true;
+        result.provenance = SolveProvenance::kApproximate;
+        result.u_max = u_approx;
+        return result;
+      }
+    }
+    result.feasible = false;
+    result.provenance = SolveProvenance::kFailed;
     return result;
   }
   result.feasible = true;
+  result.provenance = SolveProvenance::kExact;
   result.u_max = sol.x[static_cast<size_t>(u_var)];
   for (NodeId t : dests) {
     auto& row = result.flow_by_dest[static_cast<size_t>(t)];

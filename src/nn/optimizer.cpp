@@ -43,6 +43,52 @@ void Adam::step(std::span<Parameter* const> params) {
   }
 }
 
+void Adam::set_learning_rate(double lr) {
+  if (lr <= 0.0) throw std::invalid_argument("Adam: lr <= 0");
+  lr_ = lr;
+}
+
+Adam::State Adam::export_state(std::span<Parameter* const> params) const {
+  State state;
+  state.t = t_;
+  state.m.reserve(params.size());
+  state.v.reserve(params.size());
+  for (Parameter* p : params) {
+    const auto it = slots_.find(p);
+    if (it == slots_.end()) {
+      state.m.push_back(Tensor::zeros_like(p->value));
+      state.v.push_back(Tensor::zeros_like(p->value));
+    } else {
+      state.m.push_back(it->second.m);
+      state.v.push_back(it->second.v);
+    }
+  }
+  return state;
+}
+
+void Adam::import_state(const State& state,
+                        std::span<Parameter* const> params) {
+  if (state.m.size() != params.size() || state.v.size() != params.size()) {
+    throw std::runtime_error(
+        "Adam::import_state: state holds " + std::to_string(state.m.size()) +
+        " moment pairs, destination expects " +
+        std::to_string(params.size()));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!state.m[i].same_shape(params[i]->value) ||
+        !state.v[i].same_shape(params[i]->value)) {
+      throw std::runtime_error(
+          "Adam::import_state: moment shape mismatch for parameter " +
+          std::to_string(i));
+    }
+  }
+  t_ = state.t;
+  slots_.clear();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    slots_.emplace(params[i], Slot{state.m[i], state.v[i]});
+  }
+}
+
 void zero_grads(std::span<Parameter* const> params) {
   for (Parameter* p : params) p->zero_grad();
 }

@@ -33,6 +33,29 @@ class Adam final : public Optimizer {
                 double eps = 1e-8);
   void step(std::span<Parameter* const> params) override;
 
+  // The learning rate is mutable at runtime: the numerical-health
+  // watchdog shrinks it after a NaN/Inf rollback.
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr);
+
+  long step_count() const { return t_; }
+
+  // Complete optimiser state for checkpoint/resume and watchdog
+  // rollback.  Moments are ordered like the `params` span passed in;
+  // parameters never stepped yet export zero moments.  Resuming Adam
+  // without (m, v, t) silently restarts the bias correction and moment
+  // accumulation — the resumed run would diverge from the uninterrupted
+  // one on the very first update.
+  struct State {
+    long t = 0;
+    std::vector<Tensor> m;
+    std::vector<Tensor> v;
+  };
+  State export_state(std::span<Parameter* const> params) const;
+  // Shapes must match each parameter; throws std::runtime_error naming
+  // the offending parameter index otherwise (destination untouched).
+  void import_state(const State& state, std::span<Parameter* const> params);
+
  private:
   struct Slot {
     Tensor m;

@@ -1,81 +1,213 @@
 #include "nn/serialize.hpp"
 
-#include <cstdint>
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
 
 namespace gddr::nn {
 namespace {
 
 constexpr char kMagic[8] = {'G', 'D', 'D', 'R', 'P', 'A', 'R', 'M'};
-constexpr std::uint32_t kVersion = 1;
 
-template <typename T>
-void write_pod(std::ostream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof value);
-}
-
-template <typename T>
-T read_pod(std::istream& is) {
-  T value;
-  is.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!is) throw std::runtime_error("load_parameters: truncated file");
-  return value;
-}
+using util::IoError;
 
 }  // namespace
 
+const char* to_string(Section section) {
+  switch (section) {
+    case Section::kParameters:
+      return "parameters";
+    case Section::kAdam:
+      return "adam";
+    case Section::kTrainer:
+      return "trainer";
+    case Section::kCollector:
+      return "collector";
+    case Section::kEnvs:
+      return "envs";
+  }
+  return "unknown";
+}
+
+void read_bytes(std::istream& is, void* dst, std::size_t size,
+                const std::string& field) {
+  is.read(static_cast<char*>(dst), static_cast<std::streamsize>(size));
+  if (!is) {
+    throw IoError("truncated while reading field '" + field + "'");
+  }
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_pod(os, static_cast<std::uint32_t>(t.rows()));
+  write_pod(os, static_cast<std::uint32_t>(t.cols()));
+  const auto data = t.data();
+  os.write(reinterpret_cast<const char*>(data.data()),
+           static_cast<std::streamsize>(data.size() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& is, const std::string& field) {
+  const auto rows = read_pod<std::uint32_t>(is, field + ".rows");
+  const auto cols = read_pod<std::uint32_t>(is, field + ".cols");
+  // Guard against absurd shapes from corrupt bytes before allocating.
+  constexpr std::uint64_t kMaxElements = 1ULL << 28;
+  if (static_cast<std::uint64_t>(rows) * cols > kMaxElements) {
+    throw IoError("field '" + field + "' has implausible shape " +
+                  std::to_string(rows) + "x" + std::to_string(cols) +
+                  " (corrupt file?)");
+  }
+  Tensor t(static_cast<int>(rows), static_cast<int>(cols));
+  auto data = t.data();
+  read_bytes(is, data.data(), data.size() * sizeof(float), field + ".data");
+  return t;
+}
+
+Tensor read_tensor_checked(std::istream& is, const Tensor& expected,
+                           const std::string& field) {
+  Tensor t = read_tensor(is, field);
+  if (!t.same_shape(expected)) {
+    throw IoError("field '" + field + "' shape mismatch (file " +
+                  t.shape_str() + ", destination " + expected.shape_str() +
+                  ")");
+  }
+  return t;
+}
+
+// ---- ContainerWriter ----
+
+void ContainerWriter::add(Section id, std::string payload) {
+  for (const auto& [existing, _] : sections_) {
+    if (existing == id) {
+      throw IoError(std::string("ContainerWriter: duplicate section '") +
+                    to_string(id) + "'");
+    }
+  }
+  sections_.emplace_back(id, std::move(payload));
+}
+
+void ContainerWriter::write(const std::string& path) const {
+  std::ostringstream os(std::ios::binary);
+  os.write(kMagic, sizeof kMagic);
+  write_pod(os, kFormatVersionSectioned);
+  write_pod(os, static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& [id, payload] : sections_) {
+    write_pod(os, static_cast<std::uint32_t>(id));
+    write_pod(os, static_cast<std::uint64_t>(payload.size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  }
+  util::write_file_atomic(path, os.str());
+}
+
+// ---- ContainerReader ----
+
+ContainerReader::ContainerReader(const std::string& path) : path_(path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw IoError("cannot open " + path);
+
+  char magic[8];
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw IoError("bad magic in " + path + " (not a GDDRPARM file)");
+  }
+  version_ = read_pod<std::uint32_t>(is, "version");
+
+  if (version_ == kFormatVersionLegacy) {
+    // v1: everything after the version field is the parameter body.
+    std::ostringstream body(std::ios::binary);
+    body << is.rdbuf();
+    sections_.emplace_back(Section::kParameters, body.str());
+    return;
+  }
+  if (version_ != kFormatVersionSectioned) {
+    throw IoError("unsupported version " + std::to_string(version_) + " in " +
+                  path + " (supported: 1, 2)");
+  }
+
+  const auto count = read_pod<std::uint32_t>(is, "section count");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string label = "section " + std::to_string(i);
+    const auto id = read_pod<std::uint32_t>(is, label + ".id");
+    const auto size = read_pod<std::uint64_t>(is, label + ".size");
+    std::string payload(static_cast<std::size_t>(size), '\0');
+    read_bytes(is, payload.data(), payload.size(), label + ".payload");
+    sections_.emplace_back(static_cast<Section>(id), std::move(payload));
+  }
+}
+
+bool ContainerReader::has(Section id) const {
+  for (const auto& [existing, _] : sections_) {
+    if (existing == id) return true;
+  }
+  return false;
+}
+
+const std::string& ContainerReader::payload(Section id) const {
+  for (const auto& [existing, payload] : sections_) {
+    if (existing == id) return payload;
+  }
+  throw IoError(std::string("missing section '") + to_string(id) + "' in " +
+                path_);
+}
+
+// ---- parameter payloads ----
+
+std::string parameters_payload(std::span<Parameter* const> params) {
+  std::ostringstream os(std::ios::binary);
+  write_pod(os, static_cast<std::uint64_t>(params.size()));
+  for (const Parameter* p : params) write_tensor(os, p->value);
+  return os.str();
+}
+
+void load_parameters_payload(const std::string& payload,
+                             std::span<Parameter* const> params,
+                             const std::string& context) {
+  std::istringstream is(payload, std::ios::binary);
+  try {
+    const auto count = read_pod<std::uint64_t>(is, "parameter count");
+    if (count != params.size()) {
+      throw IoError("file has " + std::to_string(count) +
+                    " parameters, destination expects " +
+                    std::to_string(params.size()));
+    }
+    // Stage every tensor before touching any destination: a throw below
+    // leaves `params` exactly as they were.
+    std::vector<Tensor> staged;
+    staged.reserve(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      staged.push_back(read_tensor_checked(
+          is, params[i]->value, "parameter " + std::to_string(i)));
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = std::move(staged[i]);
+    }
+  } catch (const IoError& ex) {
+    throw IoError(context + ": " + ex.what());
+  }
+}
+
+// ---- public entry points ----
+
 void save_parameters(const std::string& path,
                      std::span<Parameter* const> params) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("save_parameters: cannot open " + path);
-  os.write(kMagic, sizeof kMagic);
-  write_pod(os, kVersion);
-  write_pod(os, static_cast<std::uint64_t>(params.size()));
-  for (const Parameter* p : params) {
-    write_pod(os, static_cast<std::uint32_t>(p->value.rows()));
-    write_pod(os, static_cast<std::uint32_t>(p->value.cols()));
-    const auto data = p->value.data();
-    os.write(reinterpret_cast<const char*>(data.data()),
-             static_cast<std::streamsize>(data.size() * sizeof(float)));
+  ContainerWriter writer;
+  writer.add(Section::kParameters, parameters_payload(params));
+  try {
+    writer.write(path);
+  } catch (const IoError& ex) {
+    throw IoError(std::string("save_parameters: ") + ex.what());
   }
-  if (!os) throw std::runtime_error("save_parameters: write failed");
 }
 
 void load_parameters(const std::string& path,
                      std::span<Parameter* const> params) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("load_parameters: cannot open " + path);
-  char magic[8];
-  is.read(magic, sizeof magic);
-  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-    throw std::runtime_error("load_parameters: bad magic in " + path);
-  }
-  const auto version = read_pod<std::uint32_t>(is);
-  if (version != kVersion) {
-    throw std::runtime_error("load_parameters: unsupported version");
-  }
-  const auto count = read_pod<std::uint64_t>(is);
-  if (count != params.size()) {
-    throw std::runtime_error(
-        "load_parameters: file has " + std::to_string(count) +
-        " parameters, destination expects " + std::to_string(params.size()));
-  }
-  for (Parameter* p : params) {
-    const auto rows = read_pod<std::uint32_t>(is);
-    const auto cols = read_pod<std::uint32_t>(is);
-    if (rows != static_cast<std::uint32_t>(p->value.rows()) ||
-        cols != static_cast<std::uint32_t>(p->value.cols())) {
-      throw std::runtime_error("load_parameters: shape mismatch (file " +
-                               std::to_string(rows) + "x" +
-                               std::to_string(cols) + ", destination " +
-                               p->value.shape_str() + ")");
-    }
-    auto data = p->value.data();
-    is.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!is) throw std::runtime_error("load_parameters: truncated data");
+  try {
+    const ContainerReader reader(path);
+    load_parameters_payload(reader.payload(Section::kParameters), params,
+                            "parameters");
+  } catch (const IoError& ex) {
+    throw IoError(std::string("load_parameters: ") + ex.what());
   }
 }
 

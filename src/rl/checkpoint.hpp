@@ -1,0 +1,30 @@
+// Shared serialisation helpers for trainer checkpoints (GDDRPARM v2
+// sections kAdam/kTrainer/kCollector/kEnvs; see nn/serialize.hpp for the
+// container format and PpoTrainer::save_checkpoint for the layout).
+//
+// Everything here follows the container's safety contract: reads throw
+// util::IoError naming the offending field on truncation or corruption,
+// and callers stage whole sections into temporaries before committing.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "rl/env.hpp"
+#include "util/rng.hpp"
+
+namespace gddr::rl {
+
+// Complete util::Rng state: 4x u64 xoshiro words, f64 Box-Muller cache,
+// u8 cache-valid flag.
+void write_rng_state(std::ostream& os, const util::Rng& rng);
+void read_rng_state(std::istream& is, util::Rng& rng,
+                    const std::string& field);
+
+// Full observation (flat features, graph tensors, connectivity).  Values
+// round-trip bit-exactly — doubles and floats are written raw.
+void write_observation(std::ostream& os, const Observation& obs);
+Observation read_observation(std::istream& is, const std::string& field);
+
+}  // namespace gddr::rl

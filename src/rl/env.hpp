@@ -3,7 +3,9 @@
 // action and returns the next observation, the reward and a done flag.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "nn/tensor.hpp"
@@ -49,6 +51,21 @@ class Env {
   // Dimensionality of the action expected by the *next* step() call (may
   // change across episodes when training over multiple topologies).
   virtual int action_dim() const = 0;
+
+  // Checkpoint support.  An env that participates in trainer
+  // checkpoint/resume serialises its complete dynamic state (RNG,
+  // sequence cursors, in-flight episode position) into an opaque blob;
+  // restoring it must make the env bit-identical to the moment of the
+  // save.  The defaults mark the env stateless: save returns an empty
+  // blob and restore accepts only an empty one, so resuming a trainer
+  // over an env that silently dropped state is impossible.
+  virtual std::vector<std::uint8_t> save_state() const { return {}; }
+  virtual void restore_state(std::span<const std::uint8_t> blob) {
+    if (!blob.empty()) {
+      throw std::runtime_error(
+          "Env::restore_state: this env does not support state restore");
+    }
+  }
 };
 
 }  // namespace gddr::rl

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "nn/gaussian.hpp"
 #include "rl/forward.hpp"
+#include "util/fault.hpp"
 
 namespace gddr::rl {
 
@@ -26,7 +28,8 @@ PpoTrainer::PpoTrainer(Policy& policy, std::vector<Env*> envs,
       params_(policy.parameters()),
       collector_(policy, std::move(envs), seed, pool),
       steps_per_env_((config.rollout_steps + collector_.num_envs() - 1) /
-                     collector_.num_envs()) {}
+                     collector_.num_envs()),
+      health_(params_, config.health, optimizer_) {}
 
 std::vector<double> PpoTrainer::act_deterministic(const Observation& obs) {
   return forward_policy(policy_, obs).mean;
@@ -52,6 +55,7 @@ PpoIterationStats PpoTrainer::train_iteration() {
       collected.episodes > 0
           ? collected.episode_reward_sum / collected.episodes
           : 0.0;
+  ++iterations_;
   return stats;
 }
 
@@ -143,7 +147,38 @@ PpoIterationStats PpoTrainer::update(RolloutBuffer& buffer) {
       nn::zero_grads(params_);
       tape.backward(total_loss);
       nn::clip_grad_norm(params_, config_.max_grad_norm);
-      optimizer_.step(params_);
+
+      if (health_.enabled()) {
+        // Deterministic fault injection: poison one gradient entry so
+        // tests can prove the recovery path below actually fires.
+        if (util::inject(util::FaultSite::kNanGradient) && !params_.empty()) {
+          params_.front()->grad.data()[0] =
+              std::numeric_limits<float>::quiet_NaN();
+        }
+        const double loss_value = tape.value(total_loss).at(0, 0);
+        if (!std::isfinite(loss_value) || !health_.gradients_finite()) {
+          // NaN/Inf before the step: skip it, restore last-good weights
+          // and optimiser moments, shrink the lr, keep training.
+          health_.note_nonfinite();
+          ++stats.nonfinite_events;
+          health_.rollback(optimizer_);
+          ++stats.health_rollbacks;
+          continue;
+        }
+        optimizer_.step(params_);
+        if (!health_.parameters_finite()) {
+          // The step itself overflowed (e.g. astronomically scaled
+          // moments): undo it the same way.
+          health_.note_nonfinite();
+          ++stats.nonfinite_events;
+          health_.rollback(optimizer_);
+          ++stats.health_rollbacks;
+          continue;
+        }
+        health_.capture(optimizer_);
+      } else {
+        optimizer_.step(params_);
+      }
 
       policy_loss_acc += batch_policy_loss / batch_size;
       value_loss_acc += batch_value_loss / batch_size;
@@ -161,6 +196,7 @@ PpoIterationStats PpoTrainer::update(RolloutBuffer& buffer) {
     stats.approx_kl = kl_acc / static_cast<double>(batches);
     stats.clip_fraction = clip_acc / static_cast<double>(batches);
   }
+  stats.learning_rate = optimizer_.learning_rate();
   return stats;
 }
 

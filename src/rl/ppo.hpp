@@ -13,6 +13,7 @@
 
 #include "nn/optimizer.hpp"
 #include "rl/env.hpp"
+#include "rl/health.hpp"
 #include "rl/policy.hpp"
 #include "rl/rollout.hpp"
 #include "rl/vec_env.hpp"
@@ -36,6 +37,10 @@ struct PpoConfig {
   // Rewards are multiplied by this before storage (keeps value targets in
   // a friendly range for long episodes).
   double reward_scale = 1.0;
+  // Numerical-health watchdog (see rl/health.hpp): NaN/Inf losses,
+  // gradients or parameters trigger a rollback to the last-good snapshot
+  // plus a learning-rate shrink instead of corrupting the run.
+  HealthConfig health;
 };
 
 struct PpoIterationStats {
@@ -47,6 +52,10 @@ struct PpoIterationStats {
   double entropy = 0.0;
   double approx_kl = 0.0;
   double clip_fraction = 0.0;
+  // Watchdog activity this iteration (0 on a healthy iteration).
+  int nonfinite_events = 0;   // NaN/Inf detections in loss/grads/params
+  int health_rollbacks = 0;   // rollbacks to the last-good snapshot
+  double learning_rate = 0.0;  // lr in effect after the iteration
 };
 
 class PpoTrainer {
@@ -74,9 +83,26 @@ class PpoTrainer {
   void train(long total_steps, const Callback& callback = {});
 
   long total_env_steps() const { return total_env_steps_; }
+  long iterations() const { return iterations_; }
 
   // Deterministic greedy action (the distribution mean) for evaluation.
   std::vector<double> act_deterministic(const Observation& obs);
+
+  // Fault-tolerant checkpointing (implemented in rl/checkpoint.cpp).
+  //
+  // save_checkpoint serialises the complete training state — policy
+  // parameters, Adam moments + step count, the trainer's shuffle RNG and
+  // counters, the current learning rate, every collector slot (action
+  // RNG, pending observation, episode accumulator) and every env's
+  // opaque state — into one GDDRPARM v2 container, written atomically.
+  //
+  // load_checkpoint restores all of it into a trainer constructed with
+  // the same policy architecture, env count and config; training resumed
+  // from the checkpoint is bit-identical to the uninterrupted run.  It
+  // validates every field and throws util::IoError naming the offending
+  // section/field; on throw the trainer is unchanged (staged commit).
+  void save_checkpoint(const std::string& path) const;
+  void load_checkpoint(const std::string& path);
 
  private:
   PpoIterationStats update(RolloutBuffer& buffer);
@@ -88,8 +114,10 @@ class PpoTrainer {
   std::vector<nn::Parameter*> params_;
   VecEnvCollector collector_;
   int steps_per_env_;
+  HealthMonitor health_;
 
   long total_env_steps_ = 0;
+  long iterations_ = 0;
 };
 
 }  // namespace gddr::rl

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "rl/env.hpp"
@@ -51,6 +52,18 @@ class VecEnvCollector {
   // stats stay unscaled.
   CollectStats collect(int steps_per_env, double reward_scale,
                        RolloutBuffer& buffer);
+
+  // Env access for checkpointing (the trainer serialises each env's
+  // opaque state alongside the slot state).
+  Env& env(int i) const { return *slots_[static_cast<std::size_t>(i)].env; }
+
+  // Checkpoint support (implemented in rl/checkpoint.cpp): serialises /
+  // restores every slot's action-sampling RNG, pending observation,
+  // reset flag and episode-reward accumulator.  load_state validates the
+  // stored env count and throws util::IoError naming the offending field
+  // without touching any slot on failure.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
 
  private:
   struct EnvSlot {

@@ -180,8 +180,12 @@ Routing mean_demand_optimal_routing(const DiGraph& g,
       if (s != t && mean.at(s, t) <= 0.0) mean.set(s, t, eps);
     }
   }
-  const mcf::OptimalResult opt = mcf::solve_optimal(g, mean);
-  if (!opt.feasible) {
+  // Exact-only: this baseline needs the flow decomposition, which the
+  // FPTAS fallback cannot provide (it yields only the U_max value).
+  mcf::SolveOptions solve_options;
+  solve_options.allow_fptas_fallback = false;
+  const mcf::OptimalResult opt = mcf::solve_optimal(g, mean, solve_options);
+  if (opt.provenance != mcf::SolveProvenance::kExact) {
     throw std::runtime_error("mean_demand_optimal_routing: LP failed");
   }
   return routing_from_dest_flows(g, opt.flow_by_dest);

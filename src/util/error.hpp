@@ -1,0 +1,30 @@
+// Failure-class exception types, so callers (most importantly gddr_cli)
+// can map a failure onto a distinct exit code and scripts can react to
+// the failure mode instead of a generic non-zero status.
+//
+//  * IoError     — file-system failures: cannot open/write/rename a
+//                  checkpoint or parameter file, and malformed/corrupted
+//                  file contents discovered while loading.
+//  * SolverError — the LP/FPTAS solver chain exhausted every fallback and
+//                  could not produce a usable optimum.
+//
+// Both derive from std::runtime_error, so existing catch sites (and
+// tests) that expect std::runtime_error keep working unchanged.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gddr::util {
+
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class SolverError : public std::runtime_error {
+ public:
+  explicit SolverError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace gddr::util

@@ -1,0 +1,158 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gddr::util {
+namespace {
+
+constexpr const char* kSiteNames[] = {
+    "lp_solve",
+    "ckpt_write",
+    "nan_grad",
+    "train_abort",
+};
+static_assert(sizeof(kSiteNames) / sizeof(kSiteNames[0]) ==
+              static_cast<std::size_t>(FaultSite::kSiteCount));
+
+int site_index(FaultSite site) { return static_cast<int>(site); }
+
+FaultSite site_from_name(const std::string& name) {
+  for (int i = 0; i < static_cast<int>(FaultSite::kSiteCount); ++i) {
+    if (name == kSiteNames[i]) return static_cast<FaultSite>(i);
+  }
+  throw std::invalid_argument("FaultInjector: unknown fault site '" + name +
+                              "'");
+}
+
+long parse_long(const std::string& text, const std::string& entry) {
+  std::size_t used = 0;
+  long value = 0;
+  try {
+    value = std::stol(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != text.size() || value <= 0) {
+    throw std::invalid_argument("FaultInjector: bad count/seed in entry '" +
+                                entry + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* to_string(FaultSite site) { return kSiteNames[site_index(site)]; }
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& spec) {
+  // Parse into fresh schedules first so a malformed spec leaves the
+  // injector untouched.
+  Schedule parsed[static_cast<int>(FaultSite::kSiteCount)];
+  bool any = false;
+
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    Schedule schedule;
+    std::string site_name;
+    if (const std::size_t at = entry.find('@'); at != std::string::npos) {
+      site_name = entry.substr(0, at);
+      std::string count = entry.substr(at + 1);
+      if (!count.empty() && count.back() == '+') {
+        schedule.mode = Mode::kFromNth;
+        count.pop_back();
+      } else {
+        schedule.mode = Mode::kNth;
+      }
+      schedule.n = parse_long(count, entry);
+    } else if (const std::size_t tilde = entry.find('~');
+               tilde != std::string::npos) {
+      site_name = entry.substr(0, tilde);
+      const std::string rest = entry.substr(tilde + 1);
+      const std::size_t slash = rest.find('/');
+      if (slash == std::string::npos) {
+        throw std::invalid_argument(
+            "FaultInjector: probabilistic entry needs an explicit seed "
+            "('site~p/seed'): '" +
+            entry + "'");
+      }
+      schedule.mode = Mode::kProbability;
+      try {
+        schedule.p = std::stod(rest.substr(0, slash));
+      } catch (const std::exception&) {
+        schedule.p = -1.0;
+      }
+      if (schedule.p < 0.0 || schedule.p > 1.0) {
+        throw std::invalid_argument(
+            "FaultInjector: probability outside [0,1] in entry '" + entry +
+            "'");
+      }
+      schedule.rng = Rng(static_cast<std::uint64_t>(
+          parse_long(rest.substr(slash + 1), entry)));
+    } else {
+      throw std::invalid_argument(
+          "FaultInjector: entry needs '@n', '@n+' or '~p/seed': '" + entry +
+          "'");
+    }
+
+    const FaultSite site = site_from_name(site_name);
+    parsed[site_index(site)] = schedule;
+    any = true;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int i = 0; i < static_cast<int>(FaultSite::kSiteCount); ++i) {
+    schedules_[i] = parsed[i];
+  }
+  enabled_.store(any, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_from_env() {
+  if (const char* spec = std::getenv("GDDR_FAULTS")) arm(spec);
+}
+
+void FaultInjector::disarm() { arm(""); }
+
+bool FaultInjector::fire(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Schedule& schedule = schedules_[site_index(site)];
+  ++schedule.hits;
+  bool fires = false;
+  switch (schedule.mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kNth:
+      fires = schedule.hits == schedule.n;
+      break;
+    case Mode::kFromNth:
+      fires = schedule.hits >= schedule.n;
+      break;
+    case Mode::kProbability:
+      fires = schedule.rng.bernoulli(schedule.p);
+      break;
+  }
+  if (fires) ++schedule.fired;
+  return fires;
+}
+
+long FaultInjector::hits(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return schedules_[site_index(site)].hits;
+}
+
+long FaultInjector::fired(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return schedules_[site_index(site)].fired;
+}
+
+}  // namespace gddr::util

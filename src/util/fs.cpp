@@ -1,0 +1,75 @@
+#include "util/fs.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace gddr::util {
+namespace {
+
+void remove_quietly(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view contents) {
+  if (inject(FaultSite::kCheckpointWrite)) {
+    throw IoError("write_file_atomic: fault-injected I/O error for " + path);
+  }
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    throw IoError("write_file_atomic: cannot open " + tmp + ": " +
+                  std::strerror(errno));
+  }
+
+  const char* data = contents.data();
+  std::size_t remaining = contents.size();
+  while (remaining > 0) {
+    const ssize_t written = ::write(fd, data, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      remove_quietly(tmp);
+      throw IoError("write_file_atomic: write to " + tmp + " failed: " +
+                    std::strerror(err));
+    }
+    data += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    remove_quietly(tmp);
+    throw IoError("write_file_atomic: fsync of " + tmp + " failed: " +
+                  std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    remove_quietly(tmp);
+    throw IoError("write_file_atomic: close of " + tmp + " failed: " +
+                  std::strerror(err));
+  }
+
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    remove_quietly(tmp);
+    throw IoError("write_file_atomic: rename " + tmp + " -> " + path +
+                  " failed: " + ec.message());
+  }
+}
+
+}  // namespace gddr::util

@@ -1,0 +1,24 @@
+// Crash-safe file writing.
+//
+// A checkpoint overwritten in place is destroyed by a crash mid-write —
+// the old state is gone and the new state is half there.  Every durable
+// artefact (parameter files, trainer checkpoints, bench JSON) therefore
+// goes through write_file_atomic: the bytes land in `<path>.tmp`, are
+// fsync'd to stable storage, and only then replace `path` via rename(2),
+// which POSIX guarantees is atomic within a filesystem.  A reader of
+// `path` sees either the complete old file or the complete new file,
+// never a torn one.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace gddr::util {
+
+// Atomically replaces `path` with `contents` (tmp + fsync + rename).
+// Honours FaultSite::kCheckpointWrite (simulated I/O failure before any
+// byte is written, so the previous file survives injected faults too).
+// Throws util::IoError on failure; the temp file is cleaned up.
+void write_file_atomic(const std::string& path, std::string_view contents);
+
+}  // namespace gddr::util

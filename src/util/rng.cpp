@@ -90,4 +90,18 @@ bool Rng::bernoulli(double p) { return uniform() < p; }
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng::State Rng::state() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[static_cast<std::size_t>(i)] = s_[i];
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
+void Rng::set_state(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[static_cast<std::size_t>(i)];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 }  // namespace gddr::util

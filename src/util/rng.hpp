@@ -5,6 +5,7 @@
 // so that experiments are exactly reproducible from a single seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -53,6 +54,17 @@ class Rng {
   // Derive an independent child stream (for parallel components that must
   // not share state yet must stay reproducible).
   Rng split();
+
+  // Complete generator state, for checkpoint/resume: the xoshiro words
+  // plus the Box-Muller cache (dropping the cached normal would desync a
+  // resumed stream by one normal() draw).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State state() const;
+  void set_state(const State& state);
 
  private:
   std::uint64_t s_[4];

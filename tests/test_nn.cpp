@@ -1,13 +1,20 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "nn/gaussian.hpp"
 #include "nn/mlp.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
 #include "nn/tape.hpp"
 #include "nn/tensor.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace gddr::nn {
@@ -599,6 +606,145 @@ TEST(Gaussian, MismatchedShapesThrow) {
   EXPECT_THROW(sample_diag_gaussian(std::vector<double>{1.0},
                                     std::vector<double>{0.0, 0.0}, rng),
                std::invalid_argument);
+}
+
+// ---------------- checkpoint-format robustness ----------------
+
+std::string serialize_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<Tensor> snapshot_values(const std::vector<Parameter*>& params) {
+  std::vector<Tensor> values;
+  for (const Parameter* p : params) values.push_back(p->value);
+  return values;
+}
+
+void expect_values_unchanged(const std::vector<Parameter*>& params,
+                             const std::vector<Tensor>& snapshot) {
+  ASSERT_EQ(params.size(), snapshot.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto actual = params[i]->value.data();
+    const auto expected = snapshot[i].data();
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t k = 0; k < actual.size(); ++k) {
+      ASSERT_EQ(actual[k], expected[k]) << "parameter " << i;
+    }
+  }
+}
+
+TEST(SerializeRobust, TruncatedFileNamesFieldAndNeverHalfLoads) {
+  util::Rng rng(21);
+  MlpConfig cfg;
+  cfg.hidden = {8};
+  Mlp src(4, 2, cfg, rng);
+  const std::string path = serialize_path("gddr_truncated.bin");
+  save_parameters(path, src.parameters());
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+
+  Mlp dst(4, 2, cfg, rng);
+  const auto params = dst.parameters();
+  const auto before = snapshot_values(params);
+  try {
+    load_parameters(path, params);
+    FAIL() << "expected util::IoError for a truncated checkpoint";
+  } catch (const util::IoError& ex) {
+    EXPECT_NE(std::string(ex.what()).find("truncated"), std::string::npos)
+        << ex.what();
+  }
+  expect_values_unchanged(params, before);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeRobust, UnsupportedVersionNamedInError) {
+  const std::string path = serialize_path("gddr_badversion.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os.write("GDDRPARM", 8);
+    const std::uint32_t version = 99;
+    os.write(reinterpret_cast<const char*>(&version), sizeof version);
+  }
+  util::Rng rng(22);
+  MlpConfig cfg;
+  cfg.hidden = {8};
+  Mlp dst(4, 2, cfg, rng);
+  try {
+    load_parameters(path, dst.parameters());
+    FAIL() << "expected util::IoError for an unsupported version";
+  } catch (const util::IoError& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find("version"), std::string::npos) << what;
+    EXPECT_NE(what.find("99"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeRobust, ParameterCountMismatchNamedInError) {
+  util::Rng rng(23);
+  MlpConfig small;
+  small.hidden = {8};
+  Mlp src(4, 2, small, rng);
+  const std::string path = serialize_path("gddr_count.bin");
+  save_parameters(path, src.parameters());
+
+  MlpConfig deep;
+  deep.hidden = {8, 8};  // six parameter tensors instead of four
+  Mlp dst(4, 2, deep, rng);
+  const auto params = dst.parameters();
+  const auto before = snapshot_values(params);
+  try {
+    load_parameters(path, params);
+    FAIL() << "expected util::IoError for a parameter count mismatch";
+  } catch (const util::IoError& ex) {
+    EXPECT_NE(std::string(ex.what()).find("parameters"), std::string::npos)
+        << ex.what();
+  }
+  expect_values_unchanged(params, before);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeRobust, LegacyV1FormatStillLoads) {
+  util::Rng rng(24);
+  MlpConfig cfg;
+  cfg.hidden = {8};
+  Mlp src(4, 2, cfg, rng);
+  const auto src_params = src.parameters();
+
+  // Hand-written v1 file: magic, version 1, u64 count, raw tensors.
+  const std::string path = serialize_path("gddr_v1.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os.write("GDDRPARM", 8);
+    const std::uint32_t version = 1;
+    os.write(reinterpret_cast<const char*>(&version), sizeof version);
+    const auto count = static_cast<std::uint64_t>(src_params.size());
+    os.write(reinterpret_cast<const char*>(&count), sizeof count);
+    for (const Parameter* p : src_params) write_tensor(os, p->value);
+  }
+
+  util::Rng rng_b(25);
+  Mlp dst(4, 2, cfg, rng_b);
+  load_parameters(path, dst.parameters());
+  const auto dst_params = dst.parameters();
+  for (std::size_t i = 0; i < src_params.size(); ++i) {
+    const auto a = src_params[i]->value.data();
+    const auto b = dst_params[i]->value.data();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeRobust, SaveLeavesNoTempFileBehind) {
+  util::Rng rng(26);
+  MlpConfig cfg;
+  cfg.hidden = {8};
+  Mlp src(4, 2, cfg, rng);
+  const std::string path = serialize_path("gddr_notmp.bin");
+  save_parameters(path, src.parameters());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -8,9 +8,23 @@
 //   gddr_cli tables <topology> [gamma]    per-switch flow tables
 //   gddr_cli eval <topology> [seed]       baseline schemes vs the LP optimum
 //                                         over generated test sequences
+//   gddr_cli train <topology> [steps]     PPO-train a GNN policy with
+//                                         periodic atomic checkpoints
+//       [--checkpoint <path>]             checkpoint file (default
+//                                         gddr_train.ckpt)
+//       [--resume <path>]                 resume a killed run bit-identically
+//       [--every N]                       checkpoint every N iterations
+//       [--seed S]
 //
 // All commands accept --workers N (default: hardware concurrency) to size
 // the thread pool used by parallel evaluation.
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage, 3 solver failure
+// (util::SolverError), 4 I/O failure (util::IoError).
+//
+// Fault injection: set GDDR_FAULTS (see util/fault.hpp for the spec
+// grammar) to rehearse failure paths, e.g.
+// GDDR_FAULTS=lp_solve@1+ forces every LP onto the FPTAS fallback.
 //
 // Topologies may name a catalogue entry or be a path to a
 // gddr-topology file (see src/topo/io.hpp).
@@ -19,6 +33,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/evaluate.hpp"
 #include "core/experiment.hpp"
@@ -31,6 +46,8 @@
 #include "topo/io.hpp"
 #include "topo/zoo.hpp"
 #include "traffic/generators.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -91,11 +108,15 @@ int cmd_optimal(const std::string& spec, std::uint64_t seed) {
               g.name().c_str(), static_cast<unsigned long long>(seed),
               dm.total());
   const auto opt = mcf::solve_optimal(g, dm);
-  if (!opt.feasible) {
-    std::printf("LP failed\n");
-    return 1;
+  if (opt.provenance == mcf::SolveProvenance::kFailed) {
+    throw util::SolverError("optimal congestion LP failed (unroutable)");
   }
-  std::printf("optimal max link utilisation U*: %.4f\n", opt.u_max);
+  std::printf("optimal max link utilisation U*: %.4f (%s)\n", opt.u_max,
+              mcf::to_string(opt.provenance));
+  if (opt.provenance == mcf::SolveProvenance::kApproximate) {
+    // FPTAS fallback: no flow decomposition, so skip the per-link report.
+    return 0;
+  }
   std::printf("optimal mean link utilisation:   %.4f\n",
               mcf::min_mean_utilisation(g, dm));
   const auto util = mcf::edge_utilisation(g, opt);
@@ -193,8 +214,72 @@ int cmd_eval(const std::string& spec, std::uint64_t seed,
           },
           &pool));
   table.print();
-  std::printf("LP cache: %zu entries, %zu hits, %zu misses\n", cache.size(),
-              cache.hits(), cache.misses());
+  std::printf("LP cache: %zu entries, %zu hits, %zu misses "
+              "(%zu exact, %zu approximate solves)\n",
+              cache.size(), cache.hits(), cache.misses(),
+              cache.exact_solves(), cache.approx_solves());
+  return 0;
+}
+
+struct TrainArgs {
+  std::string topology;
+  long steps = 1024;
+  std::string checkpoint = "gddr_train.ckpt";
+  std::string resume;
+  long every = 1;
+  std::uint64_t seed = 1;
+};
+
+int cmd_train(const TrainArgs& args) {
+  using namespace gddr::core;
+  util::Rng rng(args.seed);
+  ScenarioParams params = experiment_scenario_params();
+  params.train_sequences = 2;
+  params.test_sequences = 1;
+
+  ExperimentConfig cfg;
+  cfg.scenarios = {
+      make_scenario(resolve_topology(args.topology), params, rng)};
+  cfg.ppo = routing_ppo_config();
+  cfg.policy = experiment_gnn_config(cfg.env.memory);
+  cfg.num_envs = 2;
+  cfg.policy_seed = args.seed;
+  cfg.train_seed = args.seed + 1;
+  cfg.checkpoint_path = args.checkpoint;
+  cfg.checkpoint_every_iterations = args.every;
+
+  Experiment experiment(std::move(cfg));
+  if (!args.resume.empty()) {
+    experiment.resume_from(args.resume);
+    std::printf("resumed from %s (iteration %ld, %ld env steps)\n",
+                args.resume.c_str(), experiment.trainer().iterations(),
+                experiment.trainer().total_env_steps());
+  }
+
+  // `steps` is the total budget: a resumed run trains only the remainder,
+  // so kill + resume lands on the same final state as an unbroken run.
+  const long remaining = args.steps - experiment.trainer().total_env_steps();
+  if (remaining <= 0) {
+    std::printf("nothing to do: checkpoint already has %ld of %ld steps\n",
+                experiment.trainer().total_env_steps(), args.steps);
+    return 0;
+  }
+  const auto history = experiment.train(remaining);
+  util::Table table({"iter", "steps", "mean reward", "lr", "rollbacks"});
+  long iter = experiment.trainer().iterations() -
+              static_cast<long>(history.size());
+  for (const auto& stats : history) {
+    ++iter;
+    table.add_row({std::to_string(iter), std::to_string(stats.steps),
+                   util::fmt(stats.mean_episode_reward),
+                   util::fmt(stats.learning_rate, 6),
+                   std::to_string(stats.health_rollbacks)});
+  }
+  table.print();
+  if (!args.checkpoint.empty()) {
+    std::printf("checkpoint: %s (every %ld iteration(s))\n",
+                args.checkpoint.c_str(), args.every);
+  }
   return 0;
 }
 
@@ -208,9 +293,63 @@ int usage() {
                "  route <topology> [gamma]\n"
                "  tables <topology> [gamma]\n"
                "  eval <topology> [seed]\n"
+               "  train <topology> [steps] [--checkpoint path] "
+               "[--resume ckpt] [--every N] [--seed S]\n"
                "<topology> is a catalogue name (see 'topos') or a "
-               "gddr-topology file path.\n");
+               "gddr-topology file path.\n"
+               "exit codes: 0 ok, 1 error, 2 usage, 3 solver, 4 I/O\n");
   return 2;
+}
+
+int run(int argc, char** argv, util::ThreadPool& pool) {
+  const std::string command = argv[1];
+  if (command == "topos") return cmd_topos();
+  if (command == "show" && argc >= 3) return cmd_show(argv[2]);
+  if (command == "export" && argc >= 4) return cmd_export(argv[2], argv[3]);
+  if (command == "optimal" && argc >= 3) {
+    return cmd_optimal(argv[2],
+                       argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 1);
+  }
+  if (command == "route" && argc >= 3) {
+    return cmd_route(argv[2], argc >= 4 ? std::atof(argv[3]) : 2.0);
+  }
+  if (command == "tables" && argc >= 3) {
+    return cmd_tables(argv[2], argc >= 4 ? std::atof(argv[3]) : 2.0);
+  }
+  if (command == "eval" && argc >= 3) {
+    return cmd_eval(argv[2],
+                    argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 1,
+                    pool);
+  }
+  if (command == "train" && argc >= 3) {
+    TrainArgs args;
+    args.topology = argv[2];
+    int i = 3;
+    if (i < argc && argv[i][0] != '-') {
+      args.steps = std::strtol(argv[i], nullptr, 10);
+      if (args.steps <= 0) return usage();
+      ++i;
+    }
+    for (; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (i + 1 >= argc) return usage();
+      const char* value = argv[++i];
+      if (flag == "--checkpoint") {
+        args.checkpoint = value;
+      } else if (flag == "--resume") {
+        args.resume = value;
+      } else if (flag == "--every") {
+        args.every = std::strtol(value, nullptr, 10);
+        if (args.every <= 0) return usage();
+      } else if (flag == "--seed") {
+        args.seed = std::strtoull(value, nullptr, 10);
+      } else {
+        return usage();
+      }
+    }
+    return cmd_train(args);
+  }
+  return usage();
 }
 
 }  // namespace
@@ -219,35 +358,28 @@ int main(int argc, char** argv) {
   int workers = 0;
   try {
     workers = util::consume_workers_flag(argc, argv);
+    util::FaultInjector::instance().arm_from_env();
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());
     return 2;
   }
   if (argc < 2) return usage();
-  const std::string command = argv[1];
   try {
     util::ThreadPool pool(workers);
-    if (command == "topos") return cmd_topos();
-    if (command == "show" && argc >= 3) return cmd_show(argv[2]);
-    if (command == "export" && argc >= 4) return cmd_export(argv[2], argv[3]);
-    if (command == "optimal" && argc >= 3) {
-      return cmd_optimal(argv[2],
-                         argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 1);
-    }
-    if (command == "route" && argc >= 3) {
-      return cmd_route(argv[2], argc >= 4 ? std::atof(argv[3]) : 2.0);
-    }
-    if (command == "tables" && argc >= 3) {
-      return cmd_tables(argv[2], argc >= 4 ? std::atof(argv[3]) : 2.0);
-    }
-    if (command == "eval" && argc >= 3) {
-      return cmd_eval(argv[2],
-                      argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 1,
-                      pool);
-    }
+    return run(argc, argv, pool);
+  } catch (const util::IoError& ex) {
+    std::fprintf(stderr, "I/O error: %s\n", ex.what());
+    return 4;
+  } catch (const util::SolverError& ex) {
+    std::fprintf(stderr, "solver error: %s\n", ex.what());
+    return 3;
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());
     return 1;
+  } catch (...) {
+    // Last-resort guard: a non-std exception must still produce a
+    // diagnostic and a defined exit code instead of std::terminate.
+    std::fprintf(stderr, "error: unknown exception\n");
+    return 1;
   }
-  return usage();
 }
