@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "core/experiment.hpp"
+#include "obs/sink.hpp"
 #include "core/policies.hpp"
 #include "core/routing_env.hpp"
 #include "topo/zoo.hpp"
@@ -65,6 +66,8 @@ Curve train_curve(rl::Policy& policy, const Scenario& scenario,
 int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IONBF, 0);
   const int workers = util::consume_workers_flag(argc, argv);
+  const obs::MetricsOptions metrics = obs::consume_metrics_flag(argc, argv);
+  obs::apply(metrics);
   util::ThreadPool pool(workers);
   std::printf("=== Figure 7: learning curves (MLP vs GNN) ===\n");
   std::printf("%d collection worker(s), %d vectorised envs\n", workers,
@@ -137,5 +140,7 @@ int main(int argc, char** argv) {
               mlp_curve.fps, gnn_curve.fps);
   std::printf("\npaper expectation: both curves rise; the GNN plateaus at "
               "least as high and at least as early as the MLP.\n");
+  const std::string metrics_summary = obs::finish(metrics);
+  if (!metrics_summary.empty()) std::printf("%s\n", metrics_summary.c_str());
   return 0;
 }

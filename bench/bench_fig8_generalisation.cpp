@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "core/evaluate.hpp"
+#include "obs/sink.hpp"
 #include "core/experiment.hpp"
 #include "core/iterative_env.hpp"
 #include "core/policies.hpp"
@@ -96,6 +97,8 @@ SetResult run_set(const std::vector<Scenario>& scenarios, int memory,
 int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IONBF, 0);
   const int workers = util::consume_workers_flag(argc, argv);
+  const obs::MetricsOptions metrics = obs::consume_metrics_flag(argc, argv);
+  obs::apply(metrics);
   util::ThreadPool pool(workers);
   std::printf("=== Figure 8: generalising to unseen graphs ===\n");
   std::printf("%d worker(s), %d vectorised envs\n", workers, kVecEnvs);
@@ -156,5 +159,7 @@ int main(int argc, char** argv) {
   std::printf("note: the MLP baseline is structurally inapplicable here — "
               "its input/output dimensions are fixed to a single topology "
               "(the paper makes the same observation).\n");
+  const std::string metrics_summary = obs::finish(metrics);
+  if (!metrics_summary.empty()) std::printf("%s\n", metrics_summary.c_str());
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "util/fs.hpp"
 
 #include "core/evaluate.hpp"
+#include "obs/sink.hpp"
 #include "core/experiment.hpp"
 #include "core/policies.hpp"
 #include "core/routing_env.hpp"
@@ -106,6 +107,8 @@ EvalRun run_evaluation(const Scenario& scenario, int workers) {
 int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IONBF, 0);
   const int workers = util::consume_workers_flag(argc, argv);
+  const obs::MetricsOptions metrics = obs::consume_metrics_flag(argc, argv);
+  obs::apply(metrics);
   const int parallel_workers = workers > 1 ? workers : 4;
   const unsigned hardware = std::thread::hardware_concurrency();
   std::printf("=== Parallel engine: speedup and determinism smoke ===\n");
@@ -206,6 +209,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "could not write BENCH_parallel.json: %s\n",
                  ex.what());
   }
+
+  const std::string metrics_summary = obs::finish(metrics);
+  if (!metrics_summary.empty()) std::printf("%s\n", metrics_summary.c_str());
 
   const bool ok = collect_identical && eval_identical;
   if (!ok) std::fprintf(stderr, "FAIL: determinism contract violated\n");

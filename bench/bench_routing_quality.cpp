@@ -16,6 +16,7 @@
 #include "routing/baselines.hpp"
 #include "routing/softmin.hpp"
 #include "topo/zoo.hpp"
+#include "obs/sink.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -24,6 +25,8 @@ int main(int argc, char** argv) {
   using namespace gddr::core;
   std::setvbuf(stdout, nullptr, _IONBF, 0);
   const int workers = util::consume_workers_flag(argc, argv);
+  const obs::MetricsOptions metrics = obs::consume_metrics_flag(argc, argv);
+  obs::apply(metrics);
   util::ThreadPool pool(workers);
   std::printf("=== Routing-scheme quality vs the MCF optimum ===\n");
   std::printf("mean U_max ratio over test DMs (1.0 = LP optimum; lower "
@@ -98,5 +101,7 @@ int main(int argc, char** argv) {
               "(multipath spreading) at or below single shortest-path on "
               "most topologies; FPTAS/LP within [1.0, %.3f].\n",
               1.0 / (1.0 - 3 * 0.05));
+  const std::string metrics_summary = obs::finish(metrics);
+  if (!metrics_summary.empty()) std::printf("%s\n", metrics_summary.c_str());
   return 0;
 }

@@ -101,6 +101,13 @@ Experiment::Experiment(ExperimentConfig config)
     throw std::invalid_argument(
         "Experiment: checkpoint_every_iterations <= 0");
   }
+  if (config_.metrics_every_iterations <= 0) {
+    throw std::invalid_argument("Experiment: metrics_every_iterations <= 0");
+  }
+  if (!config_.metrics_path.empty()) {
+    obs::Registry::instance().enable();
+    metrics_sink_ = std::make_unique<obs::JsonlSink>(config_.metrics_path);
+  }
   envs_ = make_vec_envs(config_.scenarios, config_.env, config_.train_seed,
                         config_.num_envs);
   util::Rng policy_rng(config_.policy_seed);
@@ -126,6 +133,14 @@ std::vector<rl::PpoIterationStats> Experiment::train(long total_steps) {
     if (!config_.checkpoint_path.empty() &&
         trainer_->iterations() % config_.checkpoint_every_iterations == 0) {
       trainer_->save_checkpoint(config_.checkpoint_path);
+    }
+    // The metrics record lands after the checkpoint so its ckpt/write
+    // timer covers every write of this iteration.
+    if (metrics_sink_ &&
+        trainer_->iterations() % config_.metrics_every_iterations == 0) {
+      metrics_sink_->append(
+          obs::make_record(static_cast<int>(trainer_->iterations()) - 1,
+                           obs::Registry::instance().snapshot()));
     }
   }
   return history;

@@ -28,6 +28,7 @@
 #include "core/policies.hpp"
 #include "core/routing_env.hpp"
 #include "core/scenario.hpp"
+#include "obs/sink.hpp"
 #include "rl/ppo.hpp"
 
 namespace gddr::core {
@@ -72,6 +73,12 @@ struct ExperimentConfig {
   // (tmp + fsync + rename keeps the previous checkpoint intact).
   std::string checkpoint_path;
   long checkpoint_every_iterations = 1;
+  // Telemetry: a non-empty `metrics_path` enables the obs::Registry and
+  // appends one "gddr.metrics.v1" JSONL record there after every
+  // `metrics_every_iterations`-th PPO iteration (crash-safe, like the
+  // checkpoints).  Records are cumulative snapshots — see DESIGN.md §7.
+  std::string metrics_path;
+  long metrics_every_iterations = 1;
 };
 
 // Owns the full GNN training stack (vectorised RoutingEnvs with a shared
@@ -102,6 +109,7 @@ class Experiment {
 
  private:
   ExperimentConfig config_;
+  std::unique_ptr<obs::JsonlSink> metrics_sink_;
   std::vector<std::unique_ptr<RoutingEnv>> envs_;
   std::unique_ptr<GnnPolicy> policy_;
   std::unique_ptr<rl::PpoTrainer> trainer_;

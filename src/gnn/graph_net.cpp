@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace gddr::gnn {
 
 using nn::Mlp;
@@ -72,6 +74,7 @@ GraphVars GnBlock::forward(Tape& tape, const GraphSpec& spec,
   const int num_edges = spec.num_edges();
 
   // --- phi_e: update every edge from [e_k, v_sender, v_receiver, u] ---
+  obs::ScopedTimer edge_timer("gnn/block/edge");
   const Tape::Var sender_feats = tape.gather_rows(in.nodes, spec.senders);
   const Tape::Var receiver_feats = tape.gather_rows(in.nodes, spec.receivers);
   const Tape::Var u_per_edge = tape.broadcast_rows(in.globals, num_edges);
@@ -79,8 +82,10 @@ GraphVars GnBlock::forward(Tape& tape, const GraphSpec& spec,
   edge_input = tape.concat_cols(edge_input, receiver_feats);
   edge_input = tape.concat_cols(edge_input, u_per_edge);
   const Tape::Var edges_out = edge_mlp_.forward(tape, edge_input);
+  edge_timer.stop();
 
   // --- rho_{e->v}: aggregate updated edges at their receiver ---
+  obs::ScopedTimer node_timer("gnn/block/node");
   const Tape::Var agg_edges =
       tape.segment_sum(edges_out, spec.receivers, spec.num_nodes);
 
@@ -89,8 +94,10 @@ GraphVars GnBlock::forward(Tape& tape, const GraphSpec& spec,
   Tape::Var node_input = tape.concat_cols(agg_edges, in.nodes);
   node_input = tape.concat_cols(node_input, u_per_node);
   const Tape::Var nodes_out = node_mlp_.forward(tape, node_input);
+  node_timer.stop();
 
   // --- rho_{e->u}, rho_{v->u}: pool everything for the global update ---
+  obs::ScopedTimer global_timer("gnn/block/global");
   const Tape::Var all_edges = tape.sum_rows(edges_out);
   const Tape::Var all_nodes = tape.sum_rows(nodes_out);
 
@@ -98,6 +105,7 @@ GraphVars GnBlock::forward(Tape& tape, const GraphSpec& spec,
   Tape::Var global_input = tape.concat_cols(all_edges, all_nodes);
   global_input = tape.concat_cols(global_input, in.globals);
   const Tape::Var globals_out = global_mlp_.forward(tape, global_input);
+  global_timer.stop();
 
   return GraphVars{nodes_out, edges_out, globals_out};
 }
@@ -199,6 +207,7 @@ EncodeProcessDecode::EncodeProcessDecode(
 
 GraphVars EncodeProcessDecode::forward(Tape& tape, const GraphSpec& spec,
                                        const GraphVars& in) {
+  obs::ScopedTimer forward_timer("gnn/forward");
   const GraphVars encoded = encoder_.forward(tape, in);
   GraphVars latent = encoded;
   for (int step = 0; step < config_.steps; ++step) {

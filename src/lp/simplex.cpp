@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace gddr::lp {
 
 std::string to_string(SolveStatus status) {
@@ -86,6 +88,19 @@ struct SimplexState {
   std::size_t rhs_col;
   std::size_t cost_row;
   std::size_t artificial_begin;  // first artificial column
+  std::size_t pivots = 0;        // total pivots across both phases
+};
+
+// Flushes the pivot count to the metrics registry on every exit path of
+// solve() (optimal, infeasible, unbounded, iteration limit alike).
+struct PivotRecorder {
+  const SimplexState& s;
+  ~PivotRecorder() {
+    if (!obs::enabled()) return;
+    obs::count("lp/solves");
+    obs::count("lp/pivots", s.pivots);
+    obs::observe("lp/pivots_per_solve", static_cast<double>(s.pivots));
+  }
 };
 
 enum class IterateResult { kOptimal, kUnbounded, kIterationLimit };
@@ -145,6 +160,7 @@ IterateResult iterate(SimplexState& s, std::size_t col_limit,
 
     s.tableau.pivot(leaving_row, entering);
     s.basis[leaving_row] = static_cast<int>(entering);
+    ++s.pivots;
 
     // --- anti-cycling ---
     // A pivot that fails to strictly improve the objective is degenerate;
@@ -235,6 +251,8 @@ Solution LinearProgram::solve(const Options& options) const {
                  rhs_col,
                  /*cost_row=*/m,
                  /*artificial_begin=*/n + num_slack};
+  const PivotRecorder recorder{s};
+  obs::ScopedTimer solve_timer("lp/solve");
 
   // Fill constraint rows.
   std::size_t slack_cursor = n;
@@ -297,6 +315,7 @@ Solution LinearProgram::solve(const Options& options) const {
         if (std::abs(s.tableau.at(r, c)) > options.pivot_tolerance) {
           s.tableau.pivot(r, c);
           s.basis[r] = static_cast<int>(c);
+          ++s.pivots;
           break;
         }
       }

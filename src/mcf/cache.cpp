@@ -4,6 +4,7 @@
 
 #include "mcf/mean_util.hpp"
 #include "mcf/optimal.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace gddr::mcf {
@@ -94,9 +95,11 @@ bool OptimalCache::lookup(LruMap& lru, std::uint64_t key, double& value) {
   const auto it = lru.map.find(key);
   if (it == lru.map.end()) {
     ++misses_;
+    obs::count("mcf/cache/miss");
     return false;
   }
   ++hits_;
+  obs::count("mcf/cache/hit");
   lru.order.splice(lru.order.begin(), lru.order, it->second.recency);
   value = it->second.value;
   return true;
@@ -109,6 +112,7 @@ void OptimalCache::insert(LruMap& lru, std::uint64_t key, double value) {
     lru.map.erase(lru.order.back());
     lru.order.pop_back();
     ++evictions_;
+    obs::count("mcf/cache/evict");
   }
   lru.order.push_front(key);
   lru.map.emplace(key, LruMap::Entry{value, lru.order.begin()});
@@ -121,7 +125,10 @@ double OptimalCache::lookup_or_solve(LruMap& lru, const graph::DiGraph& g,
   const std::uint64_t key = key_for(g, dm);
   double value = 0.0;
   if (lookup(lru, key, value)) return value;
-  value = solver();  // LP runs outside the lock
+  {
+    obs::ScopedTimer solve_timer("mcf/solve");
+    value = solver();  // LP runs outside the lock
+  }
   insert(lru, key, value);
   return value;
 }
@@ -143,8 +150,10 @@ double OptimalCache::u_max(const graph::DiGraph& g,
       const std::lock_guard<std::mutex> lock(mutex_);
       if (result.provenance == SolveProvenance::kExact) {
         ++exact_solves_;
+        obs::count("mcf/solve/exact");
       } else {
         ++approx_solves_;
+        obs::count("mcf/solve/approx");
       }
     }
     return result.u_max;

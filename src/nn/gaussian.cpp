@@ -1,5 +1,6 @@
 #include "nn/gaussian.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -17,7 +18,8 @@ std::vector<double> sample_diag_gaussian(std::span<const double> mean,
   }
   std::vector<double> out(mean.size());
   for (size_t i = 0; i < mean.size(); ++i) {
-    out[i] = mean[i] + std::exp(log_std[i]) * rng.normal();
+    const double ls = std::clamp(log_std[i], kLogStdMin, kLogStdMax);
+    out[i] = mean[i] + std::exp(ls) * rng.normal();
   }
   return out;
 }
@@ -29,11 +31,13 @@ Tape::Var diag_gaussian_log_prob(Tape& tape, Tape::Var mean,
     throw std::invalid_argument("diag_gaussian_log_prob: shape mismatch");
   }
   const Tape::Var a = tape.constant(actions);
-  const Tape::Var sigma = tape.exp(log_std);
+  const Tape::Var ls = tape.clip(log_std, static_cast<float>(kLogStdMin),
+                                 static_cast<float>(kLogStdMax));
+  const Tape::Var sigma = tape.exp(ls);
   const Tape::Var z = tape.div(tape.sub(a, mean), sigma);
   // per-element: -0.5 z^2 - log_std - 0.5 log(2 pi)
   Tape::Var elem = tape.scale(tape.square(z), -0.5F);
-  elem = tape.sub(elem, log_std);
+  elem = tape.sub(elem, ls);
   elem = tape.add_scalar(elem, static_cast<float>(-kLogSqrt2Pi));
   return tape.sum_cols(elem);
 }

@@ -12,8 +12,20 @@
 
 namespace gddr::nn {
 
+// log_std is clamped to [kLogStdMin, kLogStdMax] everywhere a density or
+// a sample is computed: below the floor sigma = exp(log_std) underflows
+// towards 0 and z = (a - mean)/sigma turns log-probs (and their
+// gradients) into inf/NaN that the training watchdog only catches after
+// the fact.  exp(-10) ~ 4.5e-5 keeps the smallest sigma harmless at
+// float precision, exp(2) ~ 7.4 bounds exploration noise.  The sampler,
+// the on-tape log-prob and rl::action_log_prob share the same clamp so
+// PPO's importance ratios stay consistent; the entropy bonus is left
+// unclamped so its gradient can still pull an out-of-range log_std back.
+constexpr double kLogStdMin = -10.0;
+constexpr double kLogStdMax = 2.0;
+
 // Samples a ~ N(mean, diag(exp(log_std))^2).  mean and log_std must have
-// the same length.
+// the same length; log_std is clamped to [kLogStdMin, kLogStdMax].
 std::vector<double> sample_diag_gaussian(std::span<const double> mean,
                                          std::span<const double> log_std,
                                          util::Rng& rng);
@@ -22,6 +34,9 @@ std::vector<double> sample_diag_gaussian(std::span<const double> mean,
 // where `mean` is an on-tape N x A Var and `log_std` an on-tape N x A Var
 // (broadcast the 1 x A parameter with Tape::broadcast_rows).  Returns an
 // N x 1 Var of per-row log-probabilities (summed over action dims).
+// log_std enters through clip(log_std, kLogStdMin, kLogStdMax), so the
+// result is finite for any finite inputs (zero gradient to log_std at the
+// clamped extremes, matching the clamped density).
 Tape::Var diag_gaussian_log_prob(Tape& tape, Tape::Var mean,
                                  Tape::Var log_std, const Tensor& actions);
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace gddr::nn {
 
 void Tape::check_var(Var v, const char* op) const {
@@ -25,7 +27,6 @@ void Tape::check_same_shape(Var a, Var b, const char* op) const {
 Tape::Var Tape::push(Tensor value, std::function<void(Tape&, int)> backward_fn) {
   Node n;
   n.value = std::move(value);
-  n.grad = Tensor::zeros_like(n.value);
   n.backward_fn = std::move(backward_fn);
   nodes_.push_back(std::move(n));
   return Var{static_cast<int>(nodes_.size()) - 1};
@@ -36,7 +37,6 @@ Tape::Var Tape::constant(Tensor value) { return push(std::move(value), {}); }
 Tape::Var Tape::leaf(Parameter& p) {
   Node n;
   n.value = p.value;
-  n.grad = Tensor::zeros_like(n.value);
   n.parameter = &p;
   nodes_.push_back(std::move(n));
   return Var{static_cast<int>(nodes_.size()) - 1};
@@ -618,7 +618,13 @@ const Tensor& Tape::value(Var v) const {
 
 const Tensor& Tape::grad(Var v) const {
   check_var(v, "grad");
-  return node(v).grad;
+  const Node& n = node(v);
+  if (!n.grad.same_shape(n.value)) {
+    // A node backward never reached has an exactly-zero gradient;
+    // materialise it so callers keep getting a correctly-shaped tensor.
+    const_cast<Tape*>(this)->grad_of(v.id);
+  }
+  return n.grad;
 }
 
 void Tape::backward(Var loss) {
@@ -628,12 +634,22 @@ void Tape::backward(Var loss) {
     throw std::invalid_argument("backward: loss must be 1x1, got " +
                                 lv.shape_str());
   }
-  for (auto& n : nodes_) n.grad.fill(0.0F);
-  node(loss).grad.at(0, 0) = 1.0F;
+  // Release buffers from any previous backward instead of zero-filling
+  // them, so only nodes this pass actually reaches get (re)allocated.
+  for (auto& n : nodes_) n.grad = Tensor();
+  const std::size_t allocs_before = grad_allocs_;
+  grad_of(loss.id).at(0, 0) = 1.0F;
   for (int i = loss.id; i >= 0; --i) {
     Node& n = nodes_[static_cast<size_t>(i)];
+    // No consumer propagated into node i: its gradient is zero, and
+    // pushing zeros further upstream would change nothing.
+    if (!n.grad.same_shape(n.value)) continue;
     if (n.backward_fn) n.backward_fn(*this, i);
     if (n.parameter != nullptr) n.parameter->grad.add_in_place(n.grad);
+  }
+  if (obs::enabled()) {
+    obs::count("nn/tape/backwards");
+    obs::count("nn/tape/grad_allocs", grad_allocs_ - allocs_before);
   }
 }
 

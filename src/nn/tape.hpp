@@ -91,10 +91,16 @@ class Tape {
   const Tensor& grad(Var v) const;
 
   std::size_t num_nodes() const { return nodes_.size(); }
+  // Gradient buffers allocated over this tape's lifetime.  Grads are
+  // allocated lazily on first write, so a forward-only tape (e.g. every
+  // rollout step) reports 0 here no matter how many nodes it records.
+  std::size_t grad_allocations() const { return grad_allocs_; }
 
  private:
   struct Node {
     Tensor value;
+    // Lazily allocated: empty (0x0) until backward propagation first
+    // writes into it, which is exact — an untouched grad is zero.
     Tensor grad;
     Parameter* parameter = nullptr;  // non-null for leaf()
     // Accumulates input gradients given this node's grad; empty for leaves
@@ -104,7 +110,16 @@ class Tape {
 
   Node& node(Var v) { return nodes_[static_cast<size_t>(v.id)]; }
   const Node& node(Var v) const { return nodes_[static_cast<size_t>(v.id)]; }
-  Tensor& grad_of(int id) { return nodes_[static_cast<size_t>(id)].grad; }
+  // Every gradient write goes through here, so allocation can be deferred
+  // to the first consumer that actually propagates into node `id`.
+  Tensor& grad_of(int id) {
+    Node& n = nodes_[static_cast<size_t>(id)];
+    if (!n.grad.same_shape(n.value)) {
+      n.grad = Tensor::zeros_like(n.value);
+      ++grad_allocs_;
+    }
+    return n.grad;
+  }
   const Tensor& value_of(int id) const {
     return nodes_[static_cast<size_t>(id)].value;
   }
@@ -114,6 +129,7 @@ class Tape {
   void check_same_shape(Var a, Var b, const char* op) const;
 
   std::vector<Node> nodes_;
+  std::size_t grad_allocs_ = 0;
 };
 
 }  // namespace gddr::nn

@@ -1,0 +1,160 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace gddr::obs {
+
+namespace {
+
+// Returns the raw GDDR_METRICS value, or "" when unset.
+std::string env_raw() {
+  const char* v = std::getenv("GDDR_METRICS");
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+bool env_is_off(const std::string& v) { return v.empty() || v == "0"; }
+
+bool env_is_bare_switch(const std::string& v) {
+  return v == "1" || v == "on" || v == "true";
+}
+
+}  // namespace
+
+namespace detail {
+// Honouring GDDR_METRICS here (dynamic init, before main) keeps the
+// inline enabled() probe a plain load with no lazy-init logic.
+std::atomic<bool> g_enabled{!env_is_off(env_raw())};
+}  // namespace detail
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+std::string Registry::env_metrics_path() {
+  const std::string v = env_raw();
+  if (env_is_off(v) || env_is_bare_switch(v)) return {};
+  return v;
+}
+
+void Registry::add_counter(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Registry::set_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+const std::vector<double>& Registry::default_buckets() {
+  static const std::vector<double> buckets = {1.0,    2.0,    5.0,    10.0,
+                                              20.0,   50.0,   100.0,  200.0,
+                                              500.0,  1000.0, 2000.0, 5000.0};
+  return buckets;
+}
+
+void Registry::define_histogram(std::string_view name,
+                                std::vector<double> upper_bounds) {
+  std::sort(upper_bounds.begin(), upper_bounds.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return;  // first definition wins
+  HistogramStat stat;
+  stat.upper_bounds = std::move(upper_bounds);
+  stat.counts.assign(stat.upper_bounds.size() + 1, 0);
+  histograms_.emplace(std::string(name), std::move(stat));
+}
+
+void Registry::observe(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    HistogramStat stat;
+    stat.upper_bounds = default_buckets();
+    stat.counts.assign(stat.upper_bounds.size() + 1, 0);
+    it = histograms_.emplace(std::string(name), std::move(stat)).first;
+  }
+  HistogramStat& h = it->second;
+  const auto bound = std::lower_bound(h.upper_bounds.begin(),
+                                      h.upper_bounds.end(), value);
+  h.counts[static_cast<std::size_t>(bound - h.upper_bounds.begin())]++;
+  h.count++;
+  h.sum += value;
+}
+
+void Registry::record_span(std::string_view label, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = timers_.find(label);
+  if (it == timers_.end()) {
+    TimerStat stat;
+    stat.count = 1;
+    stat.total_s = stat.min_s = stat.max_s = seconds;
+    timers_.emplace(std::string(label), stat);
+    return;
+  }
+  TimerStat& t = it->second;
+  t.count++;
+  t.total_s += seconds;
+  t.min_s = std::min(t.min_s, seconds);
+  t.max_s = std::max(t.max_s, seconds);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) snap.counters.emplace_back(name, value);
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, value] : gauges_) snap.gauges.emplace_back(name, value);
+  snap.timers.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) {
+    TimerSnapshot ts;
+    ts.count = t.count;
+    ts.total_s = t.total_s;
+    ts.min_s = t.min_s;
+    ts.max_s = t.max_s;
+    snap.timers.emplace_back(name, ts);
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.upper_bounds = h.upper_bounds;
+    hs.counts = h.counts;
+    hs.count = h.count;
+    hs.sum = h.sum;
+    snap.histograms.emplace_back(name, hs);
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+  histograms_.clear();
+}
+
+double ScopedTimer::stop() {
+  if (!active_) return 0.0;
+  active_ = false;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  Registry::instance().record_span(label_, seconds);
+  return seconds;
+}
+
+}  // namespace gddr::obs

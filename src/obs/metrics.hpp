@@ -1,0 +1,188 @@
+// Training observability: a process-wide metrics registry plus scoped
+// wall-clock timers.
+//
+// The ROADMAP north-star ("as fast as the hardware allows") needs
+// measurement before optimisation; this module is the yardstick every
+// perf PR reports against.  It mirrors the per-phase logger that
+// stable-baselines' PPO2 (the paper's training harness) ships and the
+// per-block timing graph_nets-style stacks expose.
+//
+// Metric types:
+//
+//  * Counter   — monotonically increasing u64 (cache hits, LP pivots,
+//                tape grad allocations).  Cumulative since enable().
+//  * Gauge     — last-written double (current learning rate, per-worker
+//                steps/s, minibatch-loss mean of the last update).
+//  * Timer     — aggregate of ScopedTimer spans under one label:
+//                count / total / min / max seconds on the steady clock.
+//  * Histogram — fixed upper-bound buckets plus a +inf overflow bucket,
+//                with total count and sum (LP pivots per solve).
+//
+// Labels are hierarchical slash-paths ("train/collect", "mcf/solve",
+// "gnn/block/edge"); DESIGN.md §7 documents the taxonomy.
+//
+// Zero overhead when disabled (the default): every recording helper
+// first reads one relaxed atomic flag — the same pattern as
+// util::FaultInjector — and does no lock, no allocation and no clock
+// read on the disabled path.  Enable explicitly via Registry::enable(),
+// via `gddr_cli train --metrics <path>`, or by setting the GDDR_METRICS
+// environment variable ("1" enables recording; any other non-zero value
+// both enables recording and names the JSONL sink path) so benches and
+// tests can turn metrics on without CLI plumbing.
+//
+// Thread safety: all mutation goes through one internal mutex, so
+// workers of util::ThreadPool may record concurrently.  Recording is
+// coarse (per phase / per solve / per backward), so the lock is never
+// contended on a hot inner loop.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gddr::obs {
+
+namespace detail {
+// The process-wide enabled flag lives outside the Registry so the hot
+// probe below inlines to a single relaxed load — routing it through
+// Registry::instance() would pay an out-of-line call plus the static
+// local's init guard at every instrumentation site (measurably slow in
+// GnBlock::forward).  Registry::enable()/disable() write it.
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+struct TimerSnapshot {
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;    // finite bucket bounds, ascending
+  std::vector<std::uint64_t> counts;   // size upper_bounds.size() + 1;
+                                       // last bucket counts values > all
+                                       // finite bounds (+inf bucket)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+// Point-in-time copy of every metric, sorted by name within each type.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, TimerSnapshot>> timers;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+class Registry {
+ public:
+  // Global instance shared by every instrumentation point.  First use
+  // honours GDDR_METRICS (see header comment).
+  static Registry& instance();
+
+  void enable() { detail::g_enabled.store(true, std::memory_order_relaxed); }
+  // Stops recording; already-recorded data stays readable via snapshot().
+  void disable() {
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return detail::g_enabled.load(std::memory_order_relaxed);
+  }
+
+  // JSONL sink path named by GDDR_METRICS, or "" when the variable is
+  // unset, disabled ("", "0") or a bare switch ("1", "on", "true").
+  static std::string env_metrics_path();
+
+  // Unconditional recording (callers normally go through the enabled()-
+  // gated free helpers below).
+  void add_counter(std::string_view name, std::uint64_t delta = 1);
+  void set_gauge(std::string_view name, double value);
+  // Defines a histogram's finite bucket upper bounds; idempotent (the
+  // first definition wins).  observe() on an undefined name creates it
+  // with kDefaultBuckets.
+  void define_histogram(std::string_view name,
+                        std::vector<double> upper_bounds);
+  void observe(std::string_view name, double value);
+  void record_span(std::string_view label, double seconds);
+
+  Snapshot snapshot() const;
+  // Drops every metric (counters restart from zero); the enabled flag is
+  // untouched.
+  void reset();
+
+  static const std::vector<double>& default_buckets();
+
+ private:
+  Registry() = default;
+
+  struct TimerStat {
+    std::uint64_t count = 0;
+    double total_s = 0.0;
+    double min_s = 0.0;
+    double max_s = 0.0;
+  };
+  struct HistogramStat {
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, TimerStat, std::less<>> timers_;
+  std::map<std::string, HistogramStat, std::less<>> histograms_;
+};
+
+// The enabled probe every hot path uses: one inlined relaxed atomic
+// load, no function call.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+// Enabled-gated one-liners for instrumentation sites.
+inline void count(std::string_view name, std::uint64_t delta = 1) {
+  if (enabled()) Registry::instance().add_counter(name, delta);
+}
+inline void gauge(std::string_view name, double value) {
+  if (enabled()) Registry::instance().set_gauge(name, value);
+}
+inline void observe(std::string_view name, double value) {
+  if (enabled()) Registry::instance().observe(name, value);
+}
+
+// RAII steady-clock span recorded under `label` when it ends.  Inactive
+// (no clock read, no label copy) when metrics are disabled at
+// construction time.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view label) {
+    if (!obs::enabled()) return;
+    active_ = true;
+    label_.assign(label);
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() { stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  // Records the span once and returns its length in seconds (0 when the
+  // timer was inactive or already stopped).
+  double stop();
+
+ private:
+  bool active_ = false;
+  std::string label_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gddr::obs

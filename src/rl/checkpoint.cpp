@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
 #include "rl/ppo.hpp"
 #include "rl/vec_env.hpp"
 #include "util/error.hpp"
@@ -164,6 +165,7 @@ void VecEnvCollector::load_state(std::istream& is) {
 // ---- trainer checkpoint ----
 
 void PpoTrainer::save_checkpoint(const std::string& path) const {
+  obs::ScopedTimer write_timer("ckpt/write");
   nn::ContainerWriter writer;
   writer.add(nn::Section::kParameters, nn::parameters_payload(params_));
 
@@ -211,9 +213,11 @@ void PpoTrainer::save_checkpoint(const std::string& path) const {
   }
 
   writer.write(path);
+  obs::count("ckpt/writes");
 }
 
 void PpoTrainer::load_checkpoint(const std::string& path) {
+  obs::ScopedTimer read_timer("ckpt/read");
   const nn::ContainerReader reader(path);
   for (const nn::Section section :
        {nn::Section::kParameters, nn::Section::kAdam, nn::Section::kTrainer,

@@ -1,7 +1,9 @@
 #include "rl/forward.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "nn/gaussian.hpp"
 #include "nn/tape.hpp"
 
 namespace gddr::rl {
@@ -33,9 +35,13 @@ double action_log_prob(const std::vector<double>& action,
   constexpr double kLogSqrt2Pi = 0.9189385332046727;
   double lp = 0.0;
   for (size_t i = 0; i < action.size(); ++i) {
-    const double sigma = std::exp(log_std[i]);
+    // Same clamp as nn::diag_gaussian_log_prob, or the PPO importance
+    // ratio exp(logpi - logpi_old) would mix clamped and unclamped
+    // densities for the same action.
+    const double ls = std::clamp(log_std[i], nn::kLogStdMin, nn::kLogStdMax);
+    const double sigma = std::exp(ls);
     const double z = (action[i] - mean[i]) / sigma;
-    lp += -0.5 * z * z - log_std[i] - kLogSqrt2Pi;
+    lp += -0.5 * z * z - ls - kLogSqrt2Pi;
   }
   return lp;
 }

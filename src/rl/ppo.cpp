@@ -6,8 +6,10 @@
 #include <numeric>
 
 #include "nn/gaussian.hpp"
+#include "obs/metrics.hpp"
 #include "rl/forward.hpp"
 #include "util/fault.hpp"
+#include "util/stats.hpp"
 
 namespace gddr::rl {
 
@@ -36,19 +38,33 @@ std::vector<double> PpoTrainer::act_deterministic(const Observation& obs) {
 }
 
 PpoIterationStats PpoTrainer::train_iteration() {
+  obs::ScopedTimer iteration_timer("train/iteration");
   RolloutBuffer buffer;
 
+  obs::ScopedTimer collect_timer("train/collect");
   const VecEnvCollector::CollectStats collected =
       collector_.collect(steps_per_env_, config_.reward_scale, buffer);
+  const double collect_s = collect_timer.stop();
+  if (collect_s > 0.0) {
+    obs::gauge("train/collect/steps_per_s",
+               static_cast<double>(collected.steps) / collect_s);
+  }
+  obs::count("train/env_steps", static_cast<std::uint64_t>(collected.steps));
   total_env_steps_ += collected.steps;
 
   // Every env segment's tail carries its own bootstrap (truncated /
   // bootstrap_value, set by the collector), so no trailing last_value is
   // needed here.
-  buffer.compute_gae(config_.gamma, config_.gae_lambda, /*last_value=*/0.0,
-                     config_.normalize_advantages);
+  {
+    obs::ScopedTimer gae_timer("train/gae");
+    buffer.compute_gae(config_.gamma, config_.gae_lambda, /*last_value=*/0.0,
+                       config_.normalize_advantages);
+  }
 
+  obs::ScopedTimer update_timer("train/update");
   PpoIterationStats stats = update(buffer);
+  update_timer.stop();
+  obs::count("train/iterations");
   stats.steps = collected.steps;
   stats.episodes = collected.episodes;
   stats.mean_episode_reward =
@@ -71,6 +87,7 @@ PpoIterationStats PpoTrainer::update(RolloutBuffer& buffer) {
   double kl_acc = 0.0;
   double clip_acc = 0.0;
   long batches = 0;
+  util::RunningStat minibatch_loss;  // per-minibatch mean total loss
 
   const float clip = static_cast<float>(config_.clip_epsilon);
 
@@ -144,8 +161,12 @@ PpoIterationStats PpoTrainer::update(RolloutBuffer& buffer) {
       }
 
       total_loss = tape.scale(total_loss, 1.0F / batch_size);
+      minibatch_loss.add(tape.value(total_loss).at(0, 0));
       nn::zero_grads(params_);
-      tape.backward(total_loss);
+      {
+        obs::ScopedTimer backward_timer("train/update/backward");
+        tape.backward(total_loss);
+      }
       nn::clip_grad_norm(params_, config_.max_grad_norm);
 
       if (health_.enabled()) {
@@ -197,6 +218,23 @@ PpoIterationStats PpoTrainer::update(RolloutBuffer& buffer) {
     stats.clip_fraction = clip_acc / static_cast<double>(batches);
   }
   stats.learning_rate = optimizer_.learning_rate();
+  if (obs::enabled()) {
+    obs::count("train/minibatches", static_cast<std::uint64_t>(batches));
+    obs::gauge("train/loss/minibatch_mean", minibatch_loss.mean());
+    obs::gauge("train/loss/minibatch_stddev", minibatch_loss.stddev());
+    obs::gauge("train/loss/policy", stats.policy_loss);
+    obs::gauge("train/loss/value", stats.value_loss);
+    obs::gauge("train/entropy", stats.entropy);
+    obs::gauge("train/approx_kl", stats.approx_kl);
+    obs::gauge("train/clip_fraction", stats.clip_fraction);
+    obs::gauge("train/learning_rate", stats.learning_rate);
+    if (stats.nonfinite_events > 0) {
+      obs::count("train/health/nonfinite",
+                 static_cast<std::uint64_t>(stats.nonfinite_events));
+      obs::count("train/health/rollbacks",
+                 static_cast<std::uint64_t>(stats.health_rollbacks));
+    }
+  }
   return stats;
 }
 

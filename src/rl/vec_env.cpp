@@ -1,8 +1,11 @@
 #include "rl/vec_env.hpp"
 
+#include <chrono>
 #include <stdexcept>
+#include <string>
 
 #include "nn/gaussian.hpp"
+#include "obs/metrics.hpp"
 #include "rl/forward.hpp"
 
 namespace gddr::rl {
@@ -41,11 +44,16 @@ VecEnvCollector::CollectStats VecEnvCollector::collect(
   // private tapes) and writes only to its own slot/trajectory/stats
   // entries, so tasks are independent and the per-env results do not
   // depend on scheduling.
+  // Sampled only when metrics are on; each slot writes its own gauge, so
+  // the registry lock is hit once per env per collect, not per step.
+  const bool metrics = obs::enabled();
   util::parallel_for(pool_, n, [&](std::size_t i) {
     EnvSlot& slot = slots_[i];
     std::vector<StepSample>& traj = trajectories[i];
     CollectStats& stats = env_stats[i];
     traj.reserve(static_cast<size_t>(steps_per_env));
+    const auto slot_start = metrics ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
 
     for (int step = 0; step < steps_per_env; ++step) {
       if (slot.needs_reset) {
@@ -92,6 +100,17 @@ VecEnvCollector::CollectStats VecEnvCollector::collect(
       traj.back().truncated = true;
       traj.back().bootstrap_value = forward_policy(policy_, slot.obs).value;
     }
+
+    if (metrics) {
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        slot_start)
+              .count();
+      if (seconds > 0.0) {
+        obs::gauge("collect/env/" + std::to_string(i) + "/steps_per_s",
+                   static_cast<double>(stats.steps) / seconds);
+      }
+    }
   });
 
   CollectStats total;
@@ -101,6 +120,8 @@ VecEnvCollector::CollectStats VecEnvCollector::collect(
     total.episodes += env_stats[i].episodes;
     total.episode_reward_sum += env_stats[i].episode_reward_sum;
   }
+  obs::count("collect/steps", static_cast<std::uint64_t>(total.steps));
+  obs::count("collect/episodes", static_cast<std::uint64_t>(total.episodes));
   return total;
 }
 

@@ -83,6 +83,14 @@ void fill_destination_ratios(const DiGraph& g, NodeId t,
   constexpr double kTieTol = 1e-12;
   const auto sp = graph::dijkstra_to(g, t, weights);
   const auto& dist = sp.dist;
+  // Only sources that can reach t carry flow (s,t); writing ratios for the
+  // rest would both disagree with the generic per-pair path (which skips
+  // unreachable pairs) and waste O(V·deg) writes per destination.
+  std::vector<NodeId> sources;
+  sources.reserve(static_cast<size_t>(g.num_nodes()));
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (s != t && dist[static_cast<size_t>(s)] != kInf) sources.push_back(s);
+  }
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (v == t || dist[static_cast<size_t>(v)] == kInf) continue;
     std::vector<EdgeId> out;
@@ -116,9 +124,7 @@ void fill_destination_ratios(const DiGraph& g, NodeId t,
     for (size_t i = 0; i < out.size(); ++i) {
       const double share = ratios[i] / sum;
       if (share <= 0.0) continue;
-      for (NodeId s = 0; s < g.num_nodes(); ++s) {
-        if (s != t) routing.set_ratio(s, t, out[i], share);
-      }
+      for (const NodeId s : sources) routing.set_ratio(s, t, out[i], share);
     }
   }
 }
@@ -163,6 +169,16 @@ Routing softmin_routing(const DiGraph& g, const std::vector<double>& weights,
   }
   if (options.prune_mode == PruneMode::kDistanceToSink) {
     return softmin_routing_downhill(g, weights, options);
+  }
+  return softmin_routing_generic(g, weights, options);
+}
+
+Routing softmin_routing_generic(const DiGraph& g,
+                                const std::vector<double>& weights,
+                                const SoftminOptions& options) {
+  if (weights.size() != static_cast<size_t>(g.num_edges())) {
+    throw std::invalid_argument(
+        "softmin_routing_generic: weight size mismatch");
   }
   Routing routing(g.num_nodes(), g.num_edges());
   for (NodeId t = 0; t < g.num_nodes(); ++t) {

@@ -47,6 +47,16 @@ Routing softmin_routing(const graph::DiGraph& g,
 Routing softmin_routing(const graph::DiGraph& g,
                         const std::vector<double>& weights);
 
+// Reference per-pair translation: prunes a DAG for every (s,t) flow under
+// `options.prune_mode` and derives that pair's ratios on it, skipping
+// pairs where t is unreachable from s.  softmin_routing dispatches here
+// for every mode except kDistanceToSink, whose destination-based fast
+// path must produce identical ratios at traffic-carrying vertices (a
+// property the tests check edge-for-edge).
+Routing softmin_routing_generic(const graph::DiGraph& g,
+                                const std::vector<double>& weights,
+                                const SoftminOptions& options);
+
 // Derives a routing from *per-destination* edge weights — the paper's
 // §V-C intermediate action space of size |V| x |E| (between the full
 // per-flow space and the single-weight-vector space).  Each destination t

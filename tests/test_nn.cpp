@@ -747,5 +747,182 @@ TEST(SerializeRobust, SaveLeavesNoTempFileBehind) {
   std::remove(path.c_str());
 }
 
+// ---------------- lazy gradient allocation ----------------
+//
+// Regression tests for the tape memory-churn fix: grad buffers used to be
+// allocated eagerly for every node (including forward-only tapes, i.e.
+// every rollout step) and re-zero-filled wholesale on each backward.
+
+TEST(TapeLazyGrad, ForwardOnlyTapeAllocatesNothing) {
+  util::Rng rng(31);
+  MlpConfig cfg;
+  cfg.hidden = {16, 16};
+  Mlp mlp(8, 4, cfg, rng);
+  Tape tape;
+  const Var out = mlp.forward(tape, tape.constant(Tensor(1, 8, 0.5F)));
+  EXPECT_GT(tape.value(out).cols(), 0);
+  EXPECT_GT(tape.num_nodes(), 10U);
+  EXPECT_EQ(tape.grad_allocations(), 0U);
+}
+
+TEST(TapeLazyGrad, BackwardAllocatesOnlyReachedNodes) {
+  Parameter p(Tensor::row({1.0F, 2.0F}));
+  Tape tape;
+  const Var x = tape.leaf(p);
+  const Var loss = tape.sum_all(tape.square(x));
+  // Recorded after the loss: must be neither walked nor allocated.
+  const Var after = tape.relu(x);
+  (void)after;
+  p.zero_grad();
+  tape.backward(loss);
+  // Exactly the loss chain: loss, square, leaf.
+  EXPECT_EQ(tape.grad_allocations(), 3U);
+  // d/dx sum(x^2) = 2x.
+  EXPECT_FLOAT_EQ(p.grad.at(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(p.grad.at(0, 1), 4.0F);
+  // The unreached node still reports a correctly-shaped zero gradient.
+  const Tensor& g_after = tape.grad(after);
+  EXPECT_TRUE(g_after.same_shape(tape.value(after)));
+  EXPECT_FLOAT_EQ(g_after.at(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(g_after.at(0, 1), 0.0F);
+}
+
+TEST(TapeLazyGrad, RepeatedBackwardGivesIdenticalGradients) {
+  util::Rng rng(37);
+  MlpConfig cfg;
+  cfg.hidden = {8};
+  Mlp mlp(4, 1, cfg, rng);
+  Tape tape;
+  const Var out = mlp.forward(tape, tape.constant(Tensor(3, 4, 0.25F)));
+  const Var loss = tape.mean_all(tape.square(out));
+
+  zero_grads(mlp.parameters());
+  tape.backward(loss);
+  std::vector<std::vector<float>> first;
+  for (const Parameter* p : mlp.parameters()) {
+    first.emplace_back(p->grad.data().begin(), p->grad.data().end());
+  }
+
+  // Second pass re-allocates every released buffer; gradients must be
+  // bit-identical, not accumulated.
+  zero_grads(mlp.parameters());
+  tape.backward(loss);
+  std::size_t i = 0;
+  for (const Parameter* p : mlp.parameters()) {
+    const auto g = p->grad.data();
+    ASSERT_EQ(g.size(), first[i].size());
+    for (std::size_t k = 0; k < g.size(); ++k) EXPECT_EQ(g[k], first[i][k]);
+    ++i;
+  }
+}
+
+TEST(TapeLazyGrad, MixedGraphGradientsMatchClosedForm) {
+  // y = sum(min(a*b, a+b)) with a*b picked elementwise — exercises shared
+  // subexpressions and a node (the losing min branch) that still receives
+  // gradient zero contributions.
+  Parameter pa(Tensor::row({0.5F, 3.0F}));
+  Parameter pb(Tensor::row({2.0F, 2.0F}));
+  Tape tape;
+  const Var a = tape.leaf(pa);
+  const Var b = tape.leaf(pb);
+  const Var prod = tape.mul(a, b);   // {1.0, 6.0}
+  const Var sum = tape.add(a, b);    // {2.5, 5.0}
+  const Var loss = tape.sum_all(tape.minimum(prod, sum));
+  pa.zero_grad();
+  pb.zero_grad();
+  tape.backward(loss);
+  // col 0: prod wins (1.0 < 2.5): d/da = b = 2, d/db = a = 0.5
+  // col 1: sum wins (5.0 < 6.0):  d/da = 1, d/db = 1
+  EXPECT_FLOAT_EQ(pa.grad.at(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(pa.grad.at(0, 1), 1.0F);
+  EXPECT_FLOAT_EQ(pb.grad.at(0, 0), 0.5F);
+  EXPECT_FLOAT_EQ(pb.grad.at(0, 1), 1.0F);
+}
+
+// ---------------- Gaussian log_std clamping ----------------
+//
+// Regression tests for the numerics fix: an unclamped log_std of -100
+// underflows sigma to (sub)normal-zero in float, overflowing z and
+// sending log-probs and gradients to inf/NaN.
+
+TEST(GaussianClamp, ExtremeLogStdGivesFiniteLogProb) {
+  Tape tape;
+  const Tensor mean_t = Tensor::row({0.0F, 0.0F});
+  const Tensor log_std_t = Tensor::row({-100.0F, 100.0F});
+  const Tensor action = Tensor::row({0.5F, 0.5F});
+  const Var lp = diag_gaussian_log_prob(tape, tape.constant(mean_t),
+                                        tape.constant(log_std_t), action);
+  const double got = tape.value(lp).at(0, 0);
+  EXPECT_TRUE(std::isfinite(got));
+  // Closed form under the documented clamp to [kLogStdMin, kLogStdMax].
+  const auto lp_at = [](double ls, double x) {
+    const double sigma = std::exp(ls);
+    const double z = x / sigma;
+    return -0.5 * z * z - ls - 0.9189385332046727;
+  };
+  EXPECT_NEAR(got, lp_at(kLogStdMin, 0.5) + lp_at(kLogStdMax, 0.5),
+              std::abs(lp_at(kLogStdMin, 0.5)) * 1e-4);
+}
+
+TEST(GaussianClamp, ExtremeLogStdGradientsFinite) {
+  Parameter mean_param(Tensor::row({0.0F, 0.0F}));
+  Parameter ls_param(Tensor::row({-50.0F, 50.0F}));
+  Tape tape;
+  const Var lp = diag_gaussian_log_prob(tape, tape.leaf(mean_param),
+                                        tape.leaf(ls_param),
+                                        Tensor::row({1.0F, 1.0F}));
+  mean_param.zero_grad();
+  ls_param.zero_grad();
+  tape.backward(lp);
+  for (int j = 0; j < 2; ++j) {
+    EXPECT_TRUE(std::isfinite(mean_param.grad.at(0, j))) << "mean col " << j;
+    // clip passes no gradient at the clamped extremes: the clamped density
+    // is constant in log_std there.
+    EXPECT_FLOAT_EQ(ls_param.grad.at(0, j), 0.0F) << "log_std col " << j;
+  }
+}
+
+TEST(GaussianClamp, InRangeLogStdGradientMatchesFiniteDifference) {
+  const float ls0 = -1.0F;
+  const float mean0 = 0.2F;
+  const Tensor action = Tensor::row({0.9F});
+  const auto eval = [&](float ls) {
+    Tape tape;
+    const Var lp = diag_gaussian_log_prob(
+        tape, tape.constant(Tensor::row({mean0})),
+        tape.constant(Tensor::row({ls})), action);
+    return static_cast<double>(tape.value(lp).at(0, 0));
+  };
+  Parameter ls_param(Tensor::row({ls0}));
+  Tape tape;
+  const Var lp = diag_gaussian_log_prob(
+      tape, tape.constant(Tensor::row({mean0})), tape.leaf(ls_param), action);
+  ls_param.zero_grad();
+  tape.backward(lp);
+  const double analytic = ls_param.grad.at(0, 0);
+
+  const float h = 1e-2F;
+  const double fd = (eval(ls0 + h) - eval(ls0 - h)) / (2.0 * h);
+  EXPECT_NEAR(analytic, fd, 5e-2 * std::max(1.0, std::abs(fd)));
+}
+
+TEST(GaussianClamp, SamplerBoundedAtExtremes) {
+  util::Rng rng(41);
+  const std::vector<double> mean{1.0, -1.0};
+  const std::vector<double> log_std{-1000.0, 1000.0};
+  double max_dev1 = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto s = sample_diag_gaussian(mean, log_std, rng);
+    ASSERT_TRUE(std::isfinite(s[0]));
+    ASSERT_TRUE(std::isfinite(s[1]));
+    // Floor: sigma = exp(-10), so samples hug the mean.
+    EXPECT_NEAR(s[0], 1.0, 1e-2);
+    max_dev1 = std::max(max_dev1, std::abs(s[1] + 1.0));
+  }
+  // Ceiling: sigma = exp(2) ~ 7.4, not exp(1000) = inf.
+  EXPECT_LT(max_dev1, std::exp(2.0) * 6.0);
+  EXPECT_GT(max_dev1, 1.0);
+}
+
 }  // namespace
 }  // namespace gddr::nn

@@ -637,5 +637,101 @@ TEST(SchemeOrdering, OptimalIsLowerBound) {
   EXPECT_GE(u_sp, u_opt * (1.0 - 1e-9));
 }
 
+// ---------------- disconnected graphs: fast path vs generic ----------------
+//
+// Regression tests for the prune-mode inconsistency: the downhill fast
+// path used to write splitting ratios for every source s != t, including
+// sources that cannot reach t, while the generic per-pair path skips
+// unreachable pairs — so the two paths produced different Routing
+// contents on any disconnected graph.
+
+// Two 2-node strongly-connected components plus an isolated vertex.  In a
+// 2-node component every vertex reaching t lies on the (single) s->t
+// downhill path, so fast and generic must agree on every single ratio;
+// larger components legitimately differ at non-traffic-carrying vertices
+// (see fill_destination_ratios), which is why exact comparison uses this
+// shape and the richer topology below compares simulated behaviour.
+DiGraph two_islands() {
+  DiGraph g(5);
+  g.add_edge(0, 1, 10.0);  // e0, island A
+  g.add_edge(1, 0, 10.0);  // e1
+  g.add_edge(2, 3, 10.0);  // e2, island B
+  g.add_edge(3, 2, 10.0);  // e3
+  return g;                // node 4 is isolated
+}
+
+TEST(SoftminRouting, FastPathMatchesGenericOnDisconnectedGraph) {
+  const DiGraph g = two_islands();
+  const std::vector<double> w{1.0, 2.5, 0.7, 1.3};
+  SoftminOptions options;
+  options.prune_mode = PruneMode::kDistanceToSink;
+  const Routing fast = softmin_routing(g, w, options);
+  const Routing ref = softmin_routing_generic(g, w, options);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (s == t) continue;
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        EXPECT_NEAR(fast.ratio(s, t, e), ref.ratio(s, t, e), 1e-12)
+            << "flow (" << s << "," << t << ") edge " << e;
+      }
+    }
+  }
+}
+
+TEST(SoftminRouting, FastPathWritesNothingForUnreachablePairs) {
+  const DiGraph g = two_islands();
+  const std::vector<double> w{1.0, 1.0, 1.0, 1.0};
+  const Routing r = softmin_routing(g, w, SoftminOptions{});
+  // Cross-island and isolated-vertex flows can carry no traffic; their
+  // ratio rows must be untouched everywhere in the graph.
+  const std::vector<std::pair<NodeId, NodeId>> unreachable{
+      {0, 2}, {0, 3}, {2, 0}, {3, 1}, {0, 4}, {4, 0}, {4, 2}, {2, 4}};
+  for (const auto& [s, t] : unreachable) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      EXPECT_EQ(r.ratio(s, t, e), 0.0)
+          << "flow (" << s << "," << t << ") edge " << e;
+    }
+  }
+  // Within-island flows still route normally.
+  EXPECT_NEAR(r.ratio(0, 1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(r.ratio(2, 3, 2), 1.0, 1e-12);
+}
+
+TEST(SoftminRouting, FastAndGenericSimulateIdenticallyOnDisconnectedDiamonds) {
+  // Two disjoint diamonds: richer multipath structure where exact
+  // edge-for-edge equality is not guaranteed by design, but the traffic
+  // both routings carry must be identical.
+  DiGraph g(8);
+  const auto add_diamond = [&](NodeId base) {
+    g.add_edge(base + 0, base + 1, 10.0);
+    g.add_edge(base + 1, base + 3, 10.0);
+    g.add_edge(base + 0, base + 2, 10.0);
+    g.add_edge(base + 2, base + 3, 10.0);
+    g.add_edge(base + 3, base + 0, 10.0);  // return edge: strongly connected
+  };
+  add_diamond(0);
+  add_diamond(4);
+  const std::vector<double> w{1.0, 1.0, 1.2, 0.8, 2.0,
+                              0.9, 1.1, 1.0, 1.0, 2.0};
+  SoftminOptions options;
+  options.prune_mode = PruneMode::kDistanceToSink;
+  const Routing fast = softmin_routing(g, w, options);
+  const Routing ref = softmin_routing_generic(g, w, options);
+
+  DemandMatrix dm(8);
+  dm.set(0, 3, 4.0);
+  dm.set(1, 2, 1.5);
+  dm.set(4, 7, 3.0);
+  dm.set(6, 5, 2.0);
+  const auto sim_fast = simulate(g, fast, dm);
+  const auto sim_ref = simulate(g, ref, dm);
+  EXPECT_NEAR(sim_fast.u_max, sim_ref.u_max, 1e-12);
+  ASSERT_EQ(sim_fast.link_load.size(), sim_ref.link_load.size());
+  for (std::size_t e = 0; e < sim_fast.link_load.size(); ++e) {
+    EXPECT_NEAR(sim_fast.link_load[e], sim_ref.link_load[e], 1e-12)
+        << "edge " << e;
+  }
+}
+
 }  // namespace
 }  // namespace gddr::routing

@@ -17,7 +17,10 @@
 //       [--seed S]
 //
 // All commands accept --workers N (default: hardware concurrency) to size
-// the thread pool used by parallel evaluation.
+// the thread pool used by parallel evaluation, plus --metrics <path>
+// [--metrics-every N] to stream per-iteration "gddr.metrics.v1" JSONL
+// telemetry and print an end-of-run summary table (DESIGN.md §7).  The
+// GDDR_METRICS environment variable does the same without flags.
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage, 3 solver failure
 // (util::SolverError), 4 I/O failure (util::IoError).
@@ -40,6 +43,7 @@
 #include "graph/algorithms.hpp"
 #include "mcf/mean_util.hpp"
 #include "mcf/optimal.hpp"
+#include "obs/sink.hpp"
 #include "routing/baselines.hpp"
 #include "routing/forwarding.hpp"
 #include "routing/softmin.hpp"
@@ -230,7 +234,7 @@ struct TrainArgs {
   std::uint64_t seed = 1;
 };
 
-int cmd_train(const TrainArgs& args) {
+int cmd_train(const TrainArgs& args, const obs::MetricsOptions& metrics) {
   using namespace gddr::core;
   util::Rng rng(args.seed);
   ScenarioParams params = experiment_scenario_params();
@@ -247,6 +251,8 @@ int cmd_train(const TrainArgs& args) {
   cfg.train_seed = args.seed + 1;
   cfg.checkpoint_path = args.checkpoint;
   cfg.checkpoint_every_iterations = args.every;
+  cfg.metrics_path = metrics.path;
+  cfg.metrics_every_iterations = metrics.every;
 
   Experiment experiment(std::move(cfg));
   if (!args.resume.empty()) {
@@ -280,12 +286,22 @@ int cmd_train(const TrainArgs& args) {
     std::printf("checkpoint: %s (every %ld iteration(s))\n",
                 args.checkpoint.c_str(), args.every);
   }
+  if (obs::enabled()) {
+    const std::string summary =
+        obs::render_summary(obs::Registry::instance().snapshot());
+    if (!summary.empty()) std::printf("%s\n", summary.c_str());
+    if (!metrics.path.empty()) {
+      std::printf("metrics: %s (every %d iteration(s))\n",
+                  metrics.path.c_str(), metrics.every);
+    }
+  }
   return 0;
 }
 
 int usage() {
   std::fprintf(stderr,
-               "usage: gddr_cli [--workers N] <command> [...]\n"
+               "usage: gddr_cli [--workers N] [--metrics path "
+               "[--metrics-every N]] <command> [...]\n"
                "  topos\n"
                "  show <topology>\n"
                "  export <topology> <file>\n"
@@ -301,7 +317,8 @@ int usage() {
   return 2;
 }
 
-int run(int argc, char** argv, util::ThreadPool& pool) {
+int run(int argc, char** argv, util::ThreadPool& pool,
+        const obs::MetricsOptions& metrics) {
   const std::string command = argv[1];
   if (command == "topos") return cmd_topos();
   if (command == "show" && argc >= 3) return cmd_show(argv[2]);
@@ -347,7 +364,7 @@ int run(int argc, char** argv, util::ThreadPool& pool) {
         return usage();
       }
     }
-    return cmd_train(args);
+    return cmd_train(args, metrics);
   }
   return usage();
 }
@@ -356,8 +373,11 @@ int run(int argc, char** argv, util::ThreadPool& pool) {
 
 int main(int argc, char** argv) {
   int workers = 0;
+  gddr::obs::MetricsOptions metrics;
   try {
     workers = util::consume_workers_flag(argc, argv);
+    metrics = gddr::obs::consume_metrics_flag(argc, argv);
+    gddr::obs::apply(metrics);
     util::FaultInjector::instance().arm_from_env();
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());
@@ -366,7 +386,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
     util::ThreadPool pool(workers);
-    return run(argc, argv, pool);
+    return run(argc, argv, pool, metrics);
   } catch (const util::IoError& ex) {
     std::fprintf(stderr, "I/O error: %s\n", ex.what());
     return 4;
