@@ -56,7 +56,7 @@ class DiGraph {
   bool valid_node(NodeId v) const { return v >= 0 && v < num_nodes(); }
 
   const std::string& name() const { return name_; }
-  void set_name(std::string name) { name_ = std::move(name)  ; }
+  void set_name(std::string name) { name_ = std::move(name); }
 
   // Sum of all edge capacities.
   double total_capacity() const;

@@ -1,0 +1,56 @@
+#include "graph/graph_invariants.hpp"
+
+#include <string>
+
+#include "util/contract.hpp"
+
+namespace gddr::graph {
+
+using util::contract::violate_invariant;
+
+void check_acyclic(const DiGraph& g, const std::vector<bool>& edge_mask,
+                   std::string_view label) {
+  if (!has_cycle(g, edge_mask)) return;
+  std::size_t masked = 0;
+  for (const bool b : edge_mask) {
+    if (b) ++masked;
+  }
+  violate_invariant("masked subgraph is acyclic", label,
+          util::contract::describe("masked_edges", masked, "num_nodes",
+                                   g.num_nodes()));
+}
+
+void check_topological_order(const DiGraph& g,
+                             const std::vector<bool>& edge_mask,
+                             const std::vector<NodeId>& order,
+                             std::string_view label) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  if (order.size() != n) {
+    violate_invariant("topological order covers every node", label,
+            util::contract::describe("order_size", order.size(), "num_nodes",
+                                     n));
+  }
+  std::vector<int> position(n, -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto v = static_cast<std::size_t>(order[i]);
+    if (order[i] < 0 || v >= n || position[v] != -1) {
+      violate_invariant("topological order is a permutation", label,
+              util::contract::describe("index", i, "node", order[i]));
+    }
+    position[v] = static_cast<int>(i);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!edge_mask[static_cast<std::size_t>(e)]) continue;
+    const auto& ed = g.edge(e);
+    if (position[static_cast<std::size_t>(ed.src)] >=
+        position[static_cast<std::size_t>(ed.dst)]) {
+      violate_invariant("every masked edge points forward in the order", label,
+              util::contract::describe(
+                  "edge", e, "src", ed.src, "dst", ed.dst, "src_pos",
+                  position[static_cast<std::size_t>(ed.src)], "dst_pos",
+                  position[static_cast<std::size_t>(ed.dst)]));
+    }
+  }
+}
+
+}  // namespace gddr::graph

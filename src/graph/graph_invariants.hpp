@@ -1,0 +1,29 @@
+// Graph-layer invariant validators for the debug-contract layer
+// (util/contract.hpp).  Always compiled; call sites gate invocation with
+// GDDR_VALIDATE so Release builds pay nothing.  Each validator throws
+// util::ContractViolation naming the label path and the offending values.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+
+namespace gddr::graph {
+
+// The subgraph of edges with edge_mask[e] == true must be acyclic.  The
+// central post-pruning invariant: softmin routing is only loop-free
+// because every pruned per-flow graph is a DAG.
+void check_acyclic(const DiGraph& g, const std::vector<bool>& edge_mask,
+                   std::string_view label);
+
+// `order` must be a permutation of all nodes in which every masked edge
+// points forward (Kahn output validity).  Flow simulation sweeps in this
+// order; a violation would silently drop or double-count traffic.
+void check_topological_order(const DiGraph& g,
+                             const std::vector<bool>& edge_mask,
+                             const std::vector<NodeId>& order,
+                             std::string_view label);
+
+}  // namespace gddr::graph

@@ -1,0 +1,46 @@
+#include "lp/lp_invariants.hpp"
+
+#include "util/contract.hpp"
+
+namespace gddr::lp {
+
+using util::contract::describe;
+using util::contract::violate_invariant;
+
+void check_basis(const std::vector<int>& basis, std::size_t total_cols,
+                 std::string_view label) {
+  std::vector<bool> seen(total_cols, false);
+  for (std::size_t r = 0; r < basis.size(); ++r) {
+    const int c = basis[r];
+    if (c < 0 || static_cast<std::size_t>(c) >= total_cols) {
+      violate_invariant("basis column inside [0, total_cols)", label,
+                        describe("row", r, "column", c, "total_cols",
+                                 total_cols));
+    }
+    if (seen[static_cast<std::size_t>(c)]) {
+      violate_invariant("no column basic in two rows", label,
+                        describe("row", r, "column", c));
+    }
+    seen[static_cast<std::size_t>(c)] = true;
+  }
+}
+
+void check_rhs_nonnegative(std::span<const double> rhs, double tol,
+                           std::string_view label) {
+  for (std::size_t r = 0; r < rhs.size(); ++r) {
+    if (rhs[r] < -tol) {
+      violate_invariant("basic solution non-negative", label,
+                        describe("row", r, "rhs", rhs[r], "tol", tol));
+    }
+  }
+}
+
+void check_pivot_bound(std::size_t pivots, std::size_t bound,
+                       std::string_view label) {
+  if (pivots > bound) {
+    violate_invariant("pivot count within the iteration budget", label,
+                      describe("pivots", pivots, "bound", bound));
+  }
+}
+
+}  // namespace gddr::lp

@@ -1,0 +1,30 @@
+// Simplex-tableau invariant validators for the debug-contract layer
+// (util/contract.hpp).  solve() calls these through GDDR_VALIDATE at the
+// phase boundaries; tests call them directly with deliberately broken
+// state.  Each throws util::ContractViolation on failure.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace gddr::lp {
+
+// Basis validity: exactly one basic column per constraint row, every
+// basis index inside [0, total_cols), no column basic in two rows.
+void check_basis(const std::vector<int>& basis, std::size_t total_cols,
+                 std::string_view label);
+
+// Non-negativity of the RHS column within `tol`: after phase 1 every basic
+// variable's value is the RHS entry of its row, and a negative value means
+// the "feasible" basis is not actually feasible.
+void check_rhs_nonnegative(std::span<const double> rhs, double tol,
+                           std::string_view label);
+
+// Bounded pivot count: the solver must never exceed its own iteration
+// budget (anti-cycling guarantees termination inside it).
+void check_pivot_bound(std::size_t pivots, std::size_t bound,
+                       std::string_view label);
+
+}  // namespace gddr::lp

@@ -6,7 +6,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "lp/lp_invariants.hpp"
 #include "obs/metrics.hpp"
+#include "util/contract.hpp"
 
 namespace gddr::lp {
 
@@ -288,6 +290,9 @@ Solution LinearProgram::solve(const Options& options) const {
           ? options.max_iterations
           : 200 * (m + total_cols) + 10000;
 
+  // Initial basis: one slack/artificial column per row, all distinct.
+  GDDR_VALIDATE(check_basis(s.basis, total_cols, "lp/setup/basis"));
+
   Solution solution;
 
   // --- Phase 1: minimise the sum of artificials ---
@@ -320,6 +325,17 @@ Solution LinearProgram::solve(const Options& options) const {
         }
       }
     }
+    // Phase 1 ended on a feasible basis: the basis must still be valid and
+    // every basic value (the RHS column) non-negative within tolerance.
+    GDDR_VALIDATE([&] {
+      check_basis(s.basis, total_cols, "lp/phase1/basis");
+      std::vector<double> basic_values(m);
+      for (std::size_t r = 0; r < m; ++r) {
+        basic_values[r] = s.tableau.at(r, rhs_col);
+      }
+      check_rhs_nonnegative(basic_values, options.feasibility_tolerance,
+                            "lp/phase1/rhs");
+    }());
   }
 
   // --- Phase 2: minimise the real objective; artificials may not enter ---
@@ -335,6 +351,13 @@ Solution LinearProgram::solve(const Options& options) const {
     solution.status = SolveStatus::kIterationLimit;
     return solution;
   }
+
+  // Optimum reached: basis still valid, and the total pivot count stayed
+  // inside the two phase budgets plus the <= m drive-out pivots.
+  GDDR_VALIDATE([&] {
+    check_basis(s.basis, total_cols, "lp/phase2/basis");
+    check_pivot_bound(s.pivots, 2 * max_iters + m, "lp/solve/pivots");
+  }());
 
   solution.status = SolveStatus::kOptimal;
   solution.x.assign(n, 0.0);

@@ -1,0 +1,70 @@
+#include "mcf/mcf_invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace gddr::mcf {
+
+using graph::EdgeId;
+using graph::NodeId;
+using util::contract::describe;
+using util::contract::violate_invariant;
+
+void check_flow_conservation(const graph::DiGraph& g,
+                             const traffic::DemandMatrix& dm,
+                             const OptimalResult& result, double tol,
+                             std::string_view label) {
+  if (result.provenance != SolveProvenance::kExact) return;
+  for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    const auto& row = result.flow_by_dest[static_cast<std::size_t>(t)];
+    if (row.empty()) continue;
+    const double total = dm.in_sum(t);
+    // Tolerance scales with the commodity size so huge demand matrices do
+    // not trip on honest LP rounding.
+    const double slack = tol * std::max(1.0, total);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      double net_out = 0.0;
+      for (EdgeId e : g.out_edges(v)) net_out += row[static_cast<size_t>(e)];
+      for (EdgeId e : g.in_edges(v)) net_out -= row[static_cast<size_t>(e)];
+      const double expected = (v == t) ? -total : dm.at(v, t);
+      if (std::abs(net_out - expected) > slack) {
+        violate_invariant("flow conservation at every node", label,
+                          describe("dest", t, "node", v, "net_out", net_out,
+                                   "expected", expected, "tol", slack));
+      }
+    }
+  }
+}
+
+void check_umax_consistency(const graph::DiGraph& g,
+                            const OptimalResult& result, double tol,
+                            std::string_view label) {
+  if (!result.feasible) return;
+  if (!std::isfinite(result.u_max) || result.u_max < 0.0) {
+    violate_invariant("U_max finite and non-negative", label,
+                      describe("u_max", result.u_max));
+  }
+  // An exact result carries its flow decomposition; the reported U_max
+  // must equal the busiest edge of those flows.  The FPTAS path returns no
+  // flows, but any partial rows present must still never exceed U_max.
+  double flow_u_max = 0.0;
+  bool has_flows = false;
+  for (const auto& row : result.flow_by_dest) has_flows |= !row.empty();
+  if (!has_flows) return;
+  const auto util = edge_utilisation(g, result);
+  for (const double u : util) flow_u_max = std::max(flow_u_max, u);
+  const bool exact = result.provenance == SolveProvenance::kExact;
+  const bool consistent = exact
+                              ? std::abs(flow_u_max - result.u_max) <= tol
+                              : flow_u_max <= result.u_max + tol;
+  if (!consistent) {
+    violate_invariant("U_max matches the flow decomposition", label,
+                      describe("u_max", result.u_max, "flow_u_max",
+                               flow_u_max, "provenance",
+                               to_string(result.provenance), "tol", tol));
+  }
+}
+
+}  // namespace gddr::mcf

@@ -1,0 +1,32 @@
+// Multicommodity-flow invariant validators for the debug-contract layer
+// (util/contract.hpp).  solve_optimal() runs them through GDDR_VALIDATE on
+// every exact solution; tests call them directly on corrupted results.
+// Each throws util::ContractViolation on failure.
+#pragma once
+
+#include <string_view>
+
+#include "graph/digraph.hpp"
+#include "mcf/optimal.hpp"
+#include "traffic/demand.hpp"
+
+namespace gddr::mcf {
+
+// Per-destination flow conservation of an exact solution: for every
+// destination t with demand and every node v != t, outflow(v) - inflow(v)
+// of the t-destined flow equals D[v][t] within `tol` (relative to the
+// total demand into t); at t itself the net inflow equals the demand sum.
+void check_flow_conservation(const graph::DiGraph& g,
+                             const traffic::DemandMatrix& dm,
+                             const OptimalResult& result, double tol,
+                             std::string_view label);
+
+// U_max consistency between the LP value and its own flow decomposition
+// (exact provenance), and plain finiteness/sign sanity for the FPTAS path
+// (approximate provenance) whose value must also never undercut any
+// single-edge lower bound the flows imply.
+void check_umax_consistency(const graph::DiGraph& g,
+                            const OptimalResult& result, double tol,
+                            std::string_view label);
+
+}  // namespace gddr::mcf

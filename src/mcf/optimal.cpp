@@ -5,6 +5,8 @@
 
 #include "lp/simplex.hpp"
 #include "mcf/fptas.hpp"
+#include "mcf/mcf_invariants.hpp"
+#include "util/contract.hpp"
 #include "util/fault.hpp"
 
 namespace gddr::mcf {
@@ -127,6 +129,12 @@ OptimalResult solve_optimal(const DiGraph& g, const DemandMatrix& dm,
           sol.x[static_cast<size_t>(xvar(t, e))];
     }
   }
+  // The exact solution must route exactly the demand (conservation) and
+  // report the busiest edge of its own decomposition as U_max.
+  GDDR_VALIDATE(check_flow_conservation(g, dm, result, 1e-6,
+                                        "mcf/optimal/conservation"));
+  GDDR_VALIDATE(check_umax_consistency(g, result, 1e-6,
+                                       "mcf/optimal/umax"));
   return result;
 }
 

@@ -1,0 +1,26 @@
+#include "nn/nn_invariants.hpp"
+
+#include "util/contract.hpp"
+
+namespace gddr::nn {
+
+using util::contract::describe;
+using util::contract::violate_invariant;
+
+void check_finite(const Tensor& t, std::string_view label) {
+  const auto bad = util::contract::first_nonfinite(t.data());
+  if (!bad.has_value()) return;
+  violate_invariant("tensor is finite", label,
+                    describe("shape", t.shape_str(), "index", *bad, "value",
+                             t.data()[*bad]));
+}
+
+void check_grad_shape(const Tensor& value, const Tensor& grad,
+                      std::string_view label) {
+  if (grad.same_shape(value)) return;
+  violate_invariant("gradient shape matches value shape", label,
+                    describe("value_shape", value.shape_str(), "grad_shape",
+                             grad.shape_str()));
+}
+
+}  // namespace gddr::nn

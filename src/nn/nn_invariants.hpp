@@ -1,0 +1,21 @@
+// Autodiff invariant validators for the debug-contract layer
+// (util/contract.hpp).  Tape::backward runs these through GDDR_VALIDATE;
+// tests call them directly with broken tensors.  Each throws
+// util::ContractViolation.
+#pragma once
+
+#include <string_view>
+
+#include "nn/tensor.hpp"
+
+namespace gddr::nn {
+
+// Every entry of `t` is finite (no NaN/Inf); names the first offender.
+void check_finite(const Tensor& t, std::string_view label);
+
+// Grad-shape agreement: an allocated gradient buffer must have exactly its
+// node value's shape, or backward accumulation silently corrupts memory.
+void check_grad_shape(const Tensor& value, const Tensor& grad,
+                      std::string_view label);
+
+}  // namespace gddr::nn

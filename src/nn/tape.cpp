@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "nn/nn_invariants.hpp"
 #include "obs/metrics.hpp"
 
 namespace gddr::nn {
@@ -644,9 +645,19 @@ void Tape::backward(Var loss) {
     // No consumer propagated into node i: its gradient is zero, and
     // pushing zeros further upstream would change nothing.
     if (!n.grad.same_shape(n.value)) continue;
+    active_backward_node_ = i;
     if (n.backward_fn) n.backward_fn(*this, i);
     if (n.parameter != nullptr) n.parameter->grad.add_in_place(n.grad);
   }
+  active_backward_node_ = -1;
+  // Grad-shape agreement over the whole tape: every gradient this pass
+  // allocated must mirror its node's value shape exactly.
+  GDDR_VALIDATE([&] {
+    for (const Node& n : nodes_) {
+      if (n.grad.rows() == 0 && n.grad.cols() == 0) continue;
+      check_grad_shape(n.value, n.grad, "nn/tape/grad-shape");
+    }
+  }());
   if (obs::enabled()) {
     obs::count("nn/tape/backwards");
     obs::count("nn/tape/grad_allocs", grad_allocs_ - allocs_before);

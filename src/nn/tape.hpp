@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "nn/tensor.hpp"
+#include "util/contract.hpp"
 
 namespace gddr::nn {
 
@@ -113,6 +114,13 @@ class Tape {
   // Every gradient write goes through here, so allocation can be deferred
   // to the first consumer that actually propagates into node `id`.
   Tensor& grad_of(int id) {
+    // Node-id monotonicity: while node `active_backward_node_` propagates,
+    // it may only touch gradients of itself and earlier nodes — the tape
+    // is recorded in topological order, and a forward reference would mean
+    // reading a gradient that has not been fully accumulated yet.
+    GDDR_INVARIANT(active_backward_node_ < 0 || id <= active_backward_node_,
+                   "nn/tape/node-order", "id", id, "active",
+                   active_backward_node_);
     Node& n = nodes_[static_cast<size_t>(id)];
     if (!n.grad.same_shape(n.value)) {
       n.grad = Tensor::zeros_like(n.value);
@@ -130,6 +138,9 @@ class Tape {
 
   std::vector<Node> nodes_;
   std::size_t grad_allocs_ = 0;
+  // Node whose backward_fn is currently running (-1 outside backward);
+  // read by the monotonicity contract in grad_of.
+  int active_backward_node_ = -1;
 };
 
 }  // namespace gddr::nn

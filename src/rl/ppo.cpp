@@ -8,6 +8,8 @@
 #include "nn/gaussian.hpp"
 #include "obs/metrics.hpp"
 #include "rl/forward.hpp"
+#include "rl/rl_invariants.hpp"
+#include "util/contract.hpp"
 #include "util/fault.hpp"
 #include "util/stats.hpp"
 
@@ -52,6 +54,11 @@ PpoIterationStats PpoTrainer::train_iteration() {
   obs::count("train/env_steps", static_cast<std::uint64_t>(collected.steps));
   total_env_steps_ += collected.steps;
 
+  // Bootstrap flags must be coherent *before* GAE runs — a zeroed
+  // truncation bootstrap or an open segment tail is exactly the class of
+  // bug PR 1 fixed, and it corrupts advantages silently.
+  GDDR_VALIDATE(check_rollout_flags(buffer.samples(), "rl/collect/flags"));
+
   // Every env segment's tail carries its own bootstrap (truncated /
   // bootstrap_value, set by the collector), so no trailing last_value is
   // needed here.
@@ -60,6 +67,7 @@ PpoIterationStats PpoTrainer::train_iteration() {
     buffer.compute_gae(config_.gamma, config_.gae_lambda, /*last_value=*/0.0,
                        config_.normalize_advantages);
   }
+  GDDR_VALIDATE(check_gae_outputs(buffer.samples(), "rl/gae/finite"));
 
   obs::ScopedTimer update_timer("train/update");
   PpoIterationStats stats = update(buffer);
@@ -218,6 +226,10 @@ PpoIterationStats PpoTrainer::update(RolloutBuffer& buffer) {
     stats.clip_fraction = clip_acc / static_cast<double>(batches);
   }
   stats.learning_rate = optimizer_.learning_rate();
+  // With the watchdog active every non-finite batch was rolled back above,
+  // so the reported means must be finite; without it they still are unless
+  // the optimisation itself diverged, which this surfaces immediately.
+  GDDR_VALIDATE(check_finite_losses(stats, "rl/update/losses"));
   if (obs::enabled()) {
     obs::count("train/minibatches", static_cast<std::uint64_t>(batches));
     obs::gauge("train/loss/minibatch_mean", minibatch_loss.mean());

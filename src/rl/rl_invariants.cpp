@@ -1,0 +1,64 @@
+#include "rl/rl_invariants.hpp"
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace gddr::rl {
+
+using util::contract::describe;
+using util::contract::violate_invariant;
+
+void check_rollout_flags(const std::vector<StepSample>& samples,
+                         std::string_view label) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const StepSample& s = samples[i];
+    if (!std::isfinite(s.reward) || !std::isfinite(s.value) ||
+        !std::isfinite(s.log_prob)) {
+      violate_invariant("finite reward/value/log_prob", label,
+                        describe("index", i, "reward", s.reward, "value",
+                                 s.value, "log_prob", s.log_prob));
+    }
+    if (s.truncated && !std::isfinite(s.bootstrap_value)) {
+      violate_invariant("truncated sample carries a finite bootstrap", label,
+                        describe("index", i, "bootstrap_value",
+                                 s.bootstrap_value));
+    }
+    if (!s.truncated && s.bootstrap_value != 0.0) {
+      violate_invariant("bootstrap only on truncated samples", label,
+                        describe("index", i, "bootstrap_value",
+                                 s.bootstrap_value));
+    }
+  }
+  if (!samples.empty()) {
+    const StepSample& last = samples.back();
+    if (!last.done && !last.truncated) {
+      violate_invariant("final sample closes its segment", label,
+                        describe("index", samples.size() - 1));
+    }
+  }
+}
+
+void check_gae_outputs(const std::vector<StepSample>& samples,
+                       std::string_view label) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const StepSample& s = samples[i];
+    if (!std::isfinite(s.advantage) || !std::isfinite(s.return_)) {
+      violate_invariant("finite advantages and returns", label,
+                        describe("index", i, "advantage", s.advantage,
+                                 "return", s.return_));
+    }
+  }
+}
+
+void check_finite_losses(const PpoIterationStats& stats,
+                         std::string_view label) {
+  if (!std::isfinite(stats.policy_loss) || !std::isfinite(stats.value_loss) ||
+      !std::isfinite(stats.entropy)) {
+    violate_invariant("finite PPO losses", label,
+                      describe("policy_loss", stats.policy_loss, "value_loss",
+                               stats.value_loss, "entropy", stats.entropy));
+  }
+}
+
+}  // namespace gddr::rl

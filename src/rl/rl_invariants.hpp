@@ -1,0 +1,32 @@
+// RL-layer invariant validators for the debug-contract layer
+// (util/contract.hpp).  The trainer and collector run these through
+// GDDR_VALIDATE around collection and GAE; tests call them directly on
+// deliberately broken buffers.  Each throws util::ContractViolation.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "rl/ppo.hpp"
+#include "rl/rollout.hpp"
+
+namespace gddr::rl {
+
+// Bootstrap-flag consistency of a collected rollout (PR 1's GAE truncation
+// contract): rewards and values are finite, every truncated sample carries
+// a finite bootstrap_value, a sample that is neither done nor truncated
+// carries none, and the final sample of the buffer closes its segment
+// (done or truncated) so advantages never leak across env boundaries.
+void check_rollout_flags(const std::vector<StepSample>& samples,
+                         std::string_view label);
+
+// Post-GAE sanity: every advantage and return is finite.
+void check_gae_outputs(const std::vector<StepSample>& samples,
+                       std::string_view label);
+
+// Finite losses after a PPO update; with the health watchdog active a
+// non-finite loss must have been rolled back, never reported.
+void check_finite_losses(const PpoIterationStats& stats,
+                         std::string_view label);
+
+}  // namespace gddr::rl

@@ -7,6 +7,7 @@
 #include "nn/gaussian.hpp"
 #include "obs/metrics.hpp"
 #include "rl/forward.hpp"
+#include "util/contract.hpp"
 
 namespace gddr::rl {
 
@@ -100,6 +101,8 @@ VecEnvCollector::CollectStats VecEnvCollector::collect(
       traj.back().truncated = true;
       traj.back().bootstrap_value = forward_policy(policy_, slot.obs).value;
     }
+    GDDR_ENSURE(traj.back().done || traj.back().truncated,
+                "rl/collect/segment-tail", "env", i);
 
     if (metrics) {
       const double seconds =

@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "graph/algorithms.hpp"
+#include "graph/graph_invariants.hpp"
+#include "util/contract.hpp"
 
 namespace gddr::routing {
 namespace {
@@ -317,6 +319,9 @@ std::vector<bool> prune_dag(const DiGraph& g, NodeId s, NodeId t,
                          /*decreasing=*/true);
     restrict_to_st_paths(g, s, t, mask);
   }
+  // Every mode guarantees a DAG; softmin ratios on a cyclic mask would
+  // loop traffic forever (the header's central promise).
+  GDDR_VALIDATE(graph::check_acyclic(g, mask, "routing/prune/dag"));
   return mask;
 }
 

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "graph/algorithms.hpp"
+#include "graph/graph_invariants.hpp"
+#include "util/contract.hpp"
 
 namespace gddr::routing {
 
@@ -54,6 +56,10 @@ double propagate_flow(const DiGraph& g, const Routing& routing, NodeId s,
     }
     return 0.0;
   }
+  // Kahn's output must be a valid topological order of the positive-ratio
+  // subgraph or the sweep below drops/double-counts traffic.
+  GDDR_VALIDATE(graph::check_topological_order(g, mask, *order,
+                                               "routing/simulate/toposort"));
   std::vector<double> node_amount(static_cast<size_t>(g.num_nodes()), 0.0);
   node_amount[static_cast<size_t>(s)] = amount;
   double absorbed = 0.0;

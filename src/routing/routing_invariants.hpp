@@ -1,0 +1,26 @@
+// Routing-layer invariant validators for the debug-contract layer
+// (util/contract.hpp).  The softmin translation runs these through
+// GDDR_VALIDATE on every routing it produces; tests call them directly on
+// deliberately corrupted routings.  Each throws util::ContractViolation.
+#pragma once
+
+#include <string_view>
+
+#include "graph/digraph.hpp"
+#include "routing/routing.hpp"
+
+namespace gddr::routing {
+
+// The §IV-A validity contract of a softmin-translated routing, per flow:
+//  * absorption  — no flow forwards traffic out of its own destination;
+//  * stochastic  — at every vertex with positive out-mass for flow (s,t),
+//                  the out-edge ratios sum to 1 within `tol` and each ratio
+//                  lies in [0, 1];
+//  * reachability — a source that cannot reach t carries no ratios at all
+//                  (the downhill fast path must skip it, PR 3's bug);
+//  * acyclicity  — every flow's positive-ratio edge set is a DAG, so
+//                  simulate() can propagate without loops.
+void check_softmin_routing(const graph::DiGraph& g, const Routing& routing,
+                           double tol, std::string_view label);
+
+}  // namespace gddr::routing

@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "graph/algorithms.hpp"
+#include "routing/routing_invariants.hpp"
+#include "util/contract.hpp"
 
 namespace gddr::routing {
 
@@ -121,6 +123,19 @@ void fill_destination_ratios(const DiGraph& g, NodeId t,
       ratios[best] = 1.0;
       sum = 1.0;
     }
+    // The renormalised shares form one splitting row; it must be
+    // row-stochastic or downstream simulation loses traffic at v.
+    GDDR_VALIDATE([&] {
+      std::vector<double> shares(out.size());
+      for (size_t i = 0; i < out.size(); ++i) shares[i] = ratios[i] / sum;
+      double row_sum = 0.0;
+      if (!util::contract::row_stochastic(shares, 1e-9, &row_sum)) {
+        util::contract::violate_invariant(
+            "softmin shares are row-stochastic", "routing/softmin/row",
+            util::contract::describe("dest", t, "vertex", v, "row_sum",
+                                     row_sum));
+      }
+    }());
     for (size_t i = 0; i < out.size(); ++i) {
       const double share = ratios[i] / sum;
       if (share <= 0.0) continue;
@@ -136,6 +151,8 @@ Routing softmin_routing_downhill(const DiGraph& g,
   for (NodeId t = 0; t < g.num_nodes(); ++t) {
     fill_destination_ratios(g, t, weights, options, routing);
   }
+  GDDR_VALIDATE(
+      check_softmin_routing(g, routing, 1e-9, "routing/softmin/downhill"));
   return routing;
 }
 
@@ -159,6 +176,8 @@ Routing softmin_routing_per_destination(
     fill_destination_ratios(g, t, row.empty() ? unit : row, options,
                             routing);
   }
+  GDDR_VALIDATE(check_softmin_routing(g, routing, 1e-9,
+                                      "routing/softmin/per-destination"));
   return routing;
 }
 
@@ -227,6 +246,8 @@ Routing softmin_routing_generic(const DiGraph& g,
       }
     }
   }
+  GDDR_VALIDATE(
+      check_softmin_routing(g, routing, 1e-9, "routing/softmin/generic"));
   return routing;
 }
 

@@ -1,0 +1,90 @@
+#include "util/contract.hpp"
+
+namespace gddr::util {
+
+namespace {
+
+std::string format_message(const std::string& kind,
+                           const std::string& expression,
+                           const std::string& label, const std::string& file,
+                           int line, const std::string& values) {
+  std::string msg = kind + " violated: " + expression + " [" + label + "] (" +
+                    file + ":" + std::to_string(line) + ")";
+  if (!values.empty()) msg += " -- " + values;
+  return msg;
+}
+
+}  // namespace
+
+ContractViolation::ContractViolation(std::string kind, std::string expression,
+                                     std::string label, std::string file,
+                                     int line, std::string values)
+    : std::logic_error(
+          format_message(kind, expression, label, file, line, values)),
+      kind_(std::move(kind)),
+      expression_(std::move(expression)),
+      label_(std::move(label)),
+      file_(std::move(file)),
+      line_(line),
+      values_(std::move(values)) {}
+
+namespace contract {
+
+namespace detail {
+
+std::atomic<std::uint64_t> g_checks_evaluated{0};
+
+void fail(const char* kind, const char* expression, std::string_view label,
+          const char* file, int line, const std::string& values) {
+  throw ContractViolation(kind, expression, std::string(label), file, line,
+                          values);
+}
+
+}  // namespace detail
+
+void violate_invariant(std::string_view check, std::string_view label,
+                       std::string values, std::source_location loc) {
+  throw ContractViolation("INVARIANT", std::string(check), std::string(label),
+                          loc.file_name(), static_cast<int>(loc.line()),
+                          std::move(values));
+}
+
+std::uint64_t checks_evaluated() {
+  return detail::g_checks_evaluated.load(std::memory_order_relaxed);
+}
+
+void reset_checks_evaluated() {
+  detail::g_checks_evaluated.store(0, std::memory_order_relaxed);
+}
+
+template <typename T>
+static std::optional<std::size_t> first_nonfinite_impl(
+    std::span<const T> values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> first_nonfinite(std::span<const double> values) {
+  return first_nonfinite_impl(values);
+}
+
+std::optional<std::size_t> first_nonfinite(std::span<const float> values) {
+  return first_nonfinite_impl(values);
+}
+
+bool row_stochastic(std::span<const double> row, double tol,
+                    double* sum_out) {
+  double sum = 0.0;
+  bool entries_ok = true;
+  for (const double v : row) {
+    if (!(v >= -tol && v <= 1.0 + tol)) entries_ok = false;
+    sum += v;
+  }
+  if (sum_out != nullptr) *sum_out = sum;
+  return entries_ok && std::abs(sum - 1.0) <= tol;
+}
+
+}  // namespace contract
+}  // namespace gddr::util

@@ -1,0 +1,182 @@
+// Debug-contract invariant layer (machine-checked correctness).
+//
+// GDDR's correctness rests on mathematical invariants the type system
+// cannot express: splitting ratios must be row-stochastic, pruned routing
+// graphs must stay DAGs, the simplex tableau must keep a valid basis, tape
+// backward must respect topological order.  This header provides the
+// contract macros every subsystem states those invariants with, plus the
+// violation type and small numeric predicates the per-subsystem
+// `*_invariants` validators share.
+//
+// Three macro kinds, by contract taxonomy (see DESIGN.md §9):
+//
+//  * GDDR_REQUIRE(cond, label, ...)    — precondition on inputs a caller
+//                                        controls; a violation means the
+//                                        *caller* broke the contract.
+//  * GDDR_ENSURE(cond, label, ...)     — postcondition on produced results;
+//                                        a violation means *this* function
+//                                        computed something impossible.
+//  * GDDR_INVARIANT(cond, label, ...)  — mid-computation consistency that
+//                                        must hold at a program point
+//                                        regardless of inputs.
+//  * GDDR_VALIDATE(expr)               — runs a (possibly expensive)
+//                                        throwing validator from one of the
+//                                        `*_invariants` modules.
+//
+// All four compile to `((void)0)` unless the build sets -DGDDR_CHECK=ON:
+// the condition, the label and every value expression are *not evaluated*
+// in Release, so contracts are zero-overhead (tests/test_contract.cpp
+// proves this via the evaluation counter below and a side-effect probe).
+//
+// On violation a ContractViolation is thrown carrying the macro kind, the
+// stringised expression, the hierarchical label path ("lp/phase1/rhs"),
+// the source location, and the offending values formatted from the
+// optional trailing name/value pairs:
+//
+//   GDDR_ENSURE(sum > 0.0, "routing/softmin/row", "sum", sum, "t", t);
+//
+// Labels follow the same slash-path taxonomy as obs metrics so a failing
+// contract names the subsystem and the specific check.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <source_location>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gddr::util {
+
+// Thrown by a failed contract.  Derives from std::logic_error (a broken
+// invariant is a programming error, not an environmental condition), so
+// nothing in the solver fallback / fault-tolerance machinery — which
+// catches std::runtime_error subclasses — ever swallows one.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(std::string kind, std::string expression,
+                    std::string label, std::string file, int line,
+                    std::string values);
+
+  const std::string& kind() const { return kind_; }
+  const std::string& expression() const { return expression_; }
+  const std::string& label() const { return label_; }
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+  const std::string& values() const { return values_; }
+
+ private:
+  std::string kind_;
+  std::string expression_;
+  std::string label_;
+  std::string file_;
+  int line_;
+  std::string values_;
+};
+
+namespace contract {
+
+// True in builds configured with -DGDDR_CHECK=ON.
+constexpr bool enabled() {
+#if GDDR_CHECK
+  return true;
+#else
+  return false;
+#endif
+}
+
+// Number of contract checks evaluated since process start (or the last
+// reset).  Stays at zero for the whole process in a non-GDDR_CHECK build —
+// the zero-overhead proof tests assert exactly that.
+std::uint64_t checks_evaluated();
+void reset_checks_evaluated();
+
+namespace detail {
+extern std::atomic<std::uint64_t> g_checks_evaluated;
+inline void note_check() {
+  g_checks_evaluated.fetch_add(1, std::memory_order_relaxed);
+}
+[[noreturn]] void fail(const char* kind, const char* expression,
+                       std::string_view label, const char* file, int line,
+                       const std::string& values);
+}  // namespace detail
+
+// Formats trailing name/value pairs into "a=1, b=2.5".  Doubles keep
+// enough digits to reproduce the offending value exactly.
+inline std::string describe() { return {}; }
+template <typename V, typename... Rest>
+std::string describe(std::string_view name, const V& value, Rest&&... rest) {
+  std::ostringstream os;
+  os.precision(17);
+  os << name << '=' << value;
+  if constexpr (sizeof...(rest) > 0) {
+    os << ", " << describe(std::forward<Rest>(rest)...);
+  }
+  return std::move(os).str();
+}
+
+// Failure entry point for the `*_invariants` validator modules: throws a
+// ContractViolation of kind INVARIANT describing the broken `check` at the
+// caller's source location.
+[[noreturn]] void violate_invariant(
+    std::string_view check, std::string_view label, std::string values,
+    std::source_location loc = std::source_location::current());
+
+// --- shared numeric predicates -------------------------------------------
+// Used both by the contract macros at instrumentation sites and by the
+// per-subsystem validators; always compiled (they are plain functions).
+
+// Index of the first NaN/Inf entry, or nullopt when all values are finite.
+std::optional<std::size_t> first_nonfinite(std::span<const double> values);
+std::optional<std::size_t> first_nonfinite(std::span<const float> values);
+
+// True when the row sums to 1 within `tol` and every entry lies in
+// [-tol, 1 + tol].  `sum_out` (optional) receives the actual sum so a
+// violation message can show it.
+bool row_stochastic(std::span<const double> row, double tol,
+                    double* sum_out = nullptr);
+
+}  // namespace contract
+}  // namespace gddr::util
+
+#if GDDR_CHECK
+
+#define GDDR_CONTRACT_CHECK_(kind_, cond_, label_, ...)                     \
+  do {                                                                      \
+    ::gddr::util::contract::detail::note_check();                           \
+    if (!(cond_)) {                                                         \
+      ::gddr::util::contract::detail::fail(                                 \
+          kind_, #cond_, (label_), __FILE__, __LINE__,                      \
+          ::gddr::util::contract::describe(__VA_ARGS__));                   \
+    }                                                                       \
+  } while (false)
+
+#define GDDR_REQUIRE(cond_, /*label, name/value pairs*/...) \
+  GDDR_CONTRACT_CHECK_("REQUIRE", cond_, __VA_ARGS__)
+#define GDDR_ENSURE(cond_, ...) \
+  GDDR_CONTRACT_CHECK_("ENSURE", cond_, __VA_ARGS__)
+#define GDDR_INVARIANT(cond_, ...) \
+  GDDR_CONTRACT_CHECK_("INVARIANT", cond_, __VA_ARGS__)
+
+// Runs `expr` — typically a call into a `*_invariants` validator that
+// throws ContractViolation itself — only in checked builds.
+#define GDDR_VALIDATE(...)                        \
+  do {                                            \
+    ::gddr::util::contract::detail::note_check(); \
+    __VA_ARGS__;                                  \
+  } while (false)
+
+#else  // !GDDR_CHECK: contracts compile out entirely; arguments are never
+       // evaluated, so checks may be arbitrarily expensive.
+
+#define GDDR_REQUIRE(...) ((void)0)
+#define GDDR_ENSURE(...) ((void)0)
+#define GDDR_INVARIANT(...) ((void)0)
+#define GDDR_VALIDATE(...) ((void)0)
+
+#endif  // GDDR_CHECK
