@@ -7,11 +7,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "nn/kernels.hpp"
 #include "util/fs.hpp"
 
 #include "core/evaluate.hpp"
@@ -86,6 +88,54 @@ struct EvalRun {
   double seconds = 0.0;
 };
 
+// The pool-sharded matmul kernels under the tape carry the same
+// determinism contract as the phases above: any worker count must
+// reproduce the serial bytes exactly.  Checks all three variants on a
+// shape large enough to cross the parallel gates.
+bool kernels_bit_identical_across_workers() {
+  const int m = 64;
+  const int k = 64;
+  const int n = 64;
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  std::vector<float> g(static_cast<std::size_t>(m) * n);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = 0.01F * static_cast<float>(i % 23) - 0.1F;
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = 0.02F * static_cast<float>(i % 19) - 0.15F;
+  }
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] = 0.03F * static_cast<float>(i % 17) - 0.2F;
+  }
+  std::vector<float> c_serial(static_cast<std::size_t>(m) * n);
+  std::vector<float> gx_serial(static_cast<std::size_t>(m) * k, 0.0F);
+  std::vector<float> gw_serial(static_cast<std::size_t>(k) * n, 0.0F);
+  nn::kernels::matmul_nn(m, k, n, a.data(), b.data(), c_serial.data());
+  nn::kernels::matmul_nt_acc(m, n, k, g.data(), b.data(), gx_serial.data());
+  nn::kernels::matmul_tn_acc(m, k, n, a.data(), g.data(), gw_serial.data());
+  for (const std::size_t workers : {2U, 4U}) {
+    util::ThreadPool pool(workers);
+    std::vector<float> c(c_serial.size());
+    std::vector<float> gx(gx_serial.size(), 0.0F);
+    std::vector<float> gw(gw_serial.size(), 0.0F);
+    nn::kernels::matmul_nn(m, k, n, a.data(), b.data(), c.data(), &pool);
+    nn::kernels::matmul_nt_acc(m, n, k, g.data(), b.data(), gx.data(),
+                               &pool);
+    nn::kernels::matmul_tn_acc(m, k, n, a.data(), g.data(), gw.data(),
+                               &pool);
+    if (std::memcmp(c.data(), c_serial.data(),
+                    c.size() * sizeof(float)) != 0 ||
+        std::memcmp(gx.data(), gx_serial.data(),
+                    gx.size() * sizeof(float)) != 0 ||
+        std::memcmp(gw.data(), gw_serial.data(),
+                    gw.size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
 EvalRun run_evaluation(const Scenario& scenario, int workers) {
   util::ThreadPool pool(workers);
   mcf::OptimalCache cache;  // fresh: both runs solve the same LPs
@@ -129,6 +179,11 @@ int main(int argc, char** argv) {
   const Scenario eval_scenario =
       make_scenario(topo::abilene_heterogeneous(), params, rng2);
 
+  std::printf("\n[0/2] matmul kernels, 1 vs 2 vs 4 workers...\n");
+  const bool kernels_identical = kernels_bit_identical_across_workers();
+  std::printf("  outputs bit-identical: %s\n",
+              kernels_identical ? "yes" : "NO — DETERMINISM VIOLATION");
+
   std::printf("\n[1/2] vectorised collection: %d envs x %d steps...\n",
               kVecEnvs, kStepsPerEnv);
   const CollectRun collect_serial = run_collection(train_scenario, 1);
@@ -170,6 +225,7 @@ int main(int argc, char** argv) {
       json, sizeof(json),
       "{\n"
         "  \"workers\": %d,\n"
+        "  \"kernels_bit_identical\": %s,\n"
         "  \"hardware_concurrency\": %u,\n"
         "  \"vec_envs\": %d,\n"
         "  \"collection\": {\n"
@@ -191,7 +247,8 @@ int main(int argc, char** argv) {
         "  \"meets_2x_target\": %s,\n"
         "  \"note\": \"%s\"\n"
         "}\n",
-        parallel_workers, hardware, kVecEnvs, kStepsPerEnv,
+        parallel_workers, kernels_identical ? "true" : "false", hardware,
+        kVecEnvs, kStepsPerEnv,
         collect_serial.seconds, collect_parallel.seconds, collect_speedup,
         collect_identical ? "true" : "false", kEvalTestSequences,
         eval_serial.seconds, eval_parallel.seconds, eval_speedup,
@@ -213,7 +270,7 @@ int main(int argc, char** argv) {
   const std::string metrics_summary = obs::finish(metrics);
   if (!metrics_summary.empty()) std::printf("%s\n", metrics_summary.c_str());
 
-  const bool ok = collect_identical && eval_identical;
+  const bool ok = collect_identical && eval_identical && kernels_identical;
   if (!ok) std::fprintf(stderr, "FAIL: determinism contract violated\n");
   return ok ? 0 : 1;
 }

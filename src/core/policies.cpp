@@ -1,6 +1,10 @@
 #include "core/policies.hpp"
 
+#include <cstddef>
+#include <memory>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace gddr::core {
 
@@ -27,12 +31,53 @@ GraphVars graph_vars_from(Tape& tape, const rl::Observation& obs) {
                    tape.constant(obs.globals)};
 }
 
-GraphSpec spec_from(const rl::Observation& obs) {
-  GraphSpec spec;
-  spec.num_nodes = obs.num_nodes;
-  spec.senders = obs.senders;
-  spec.receivers = obs.receivers;
-  return spec;
+std::size_t spec_hash(const rl::Observation& obs) {
+  // FNV-1a over the connectivity ints; collisions are resolved by the
+  // full equality check in cached_spec.
+  std::size_t h = 1469598103934665603ULL;
+  auto mix = [&h](int v) {
+    h ^= static_cast<std::size_t>(static_cast<unsigned>(v));
+    h *= 1099511628211ULL;
+  };
+  mix(obs.num_nodes);
+  for (int v : obs.senders) mix(v);
+  for (int v : obs.receivers) mix(v);
+  return h;
+}
+
+// Most runs train on a handful of topologies, each observed thousands of
+// times; beyond this the cache resets rather than growing unboundedly.
+constexpr std::size_t kSpecCacheCap = 64;
+
+// Returns a GraphSpec (with gather/segment plans built) for the
+// observation's connectivity, cached per topology.  Policies run
+// concurrently on rollout-collector workers, so the cache is thread-local
+// — no locks on the hot path.  The returned reference is valid until this
+// thread's next cached_spec call; the kernel plans themselves are
+// shared_ptrs retained by the tape, so they outlive any cache eviction.
+const GraphSpec& cached_spec(const rl::Observation& obs) {
+  struct Entry {
+    std::size_t hash = 0;
+    GraphSpec spec;
+  };
+  thread_local std::vector<std::unique_ptr<Entry>> cache;
+  const std::size_t h = spec_hash(obs);
+  for (const auto& e : cache) {
+    if (e->hash == h && e->spec.num_nodes == obs.num_nodes &&
+        e->spec.senders == obs.senders &&
+        e->spec.receivers == obs.receivers) {
+      return e->spec;
+    }
+  }
+  if (cache.size() >= kSpecCacheCap) cache.clear();
+  auto e = std::make_unique<Entry>();
+  e->hash = h;
+  e->spec.num_nodes = obs.num_nodes;
+  e->spec.senders = obs.senders;
+  e->spec.receivers = obs.receivers;
+  e->spec.ensure_plans();
+  cache.push_back(std::move(e));
+  return cache.back()->spec;
 }
 
 }  // namespace
@@ -129,14 +174,14 @@ int GnnPolicy::action_dim(const rl::Observation& obs) const {
 }
 
 Tape::Var GnnPolicy::action_mean(Tape& tape, const rl::Observation& obs) {
-  const GraphSpec spec = spec_from(obs);
+  const GraphSpec& spec = cached_spec(obs);
   const GraphVars out = pi_.forward(tape, spec, graph_vars_from(tape, obs));
   // Decoded edge attributes (E x 1) -> action row (1 x E).
   return tape.reshape(out.edges, 1, spec.num_edges());
 }
 
 Tape::Var GnnPolicy::value(Tape& tape, const rl::Observation& obs) {
-  const GraphSpec spec = spec_from(obs);
+  const GraphSpec& spec = cached_spec(obs);
   const GraphVars out = vf_.forward(tape, spec, graph_vars_from(tape, obs));
   return out.globals;  // 1 x 1
 }
@@ -193,13 +238,13 @@ IterativeGnnPolicy::IterativeGnnPolicy(const IterativeGnnPolicyConfig& config,
 
 Tape::Var IterativeGnnPolicy::action_mean(Tape& tape,
                                           const rl::Observation& obs) {
-  const GraphSpec spec = spec_from(obs);
+  const GraphSpec& spec = cached_spec(obs);
   const GraphVars out = pi_.forward(tape, spec, graph_vars_from(tape, obs));
   return out.globals;
 }
 
 Tape::Var IterativeGnnPolicy::value(Tape& tape, const rl::Observation& obs) {
-  const GraphSpec spec = spec_from(obs);
+  const GraphSpec& spec = cached_spec(obs);
   const GraphVars out = vf_.forward(tape, spec, graph_vars_from(tape, obs));
   return out.globals;
 }

@@ -19,7 +19,16 @@ GraphSpec GraphSpec::from(const graph::DiGraph& g) {
     spec.senders.push_back(e.src);
     spec.receivers.push_back(e.dst);
   }
+  spec.ensure_plans();
   return spec;
+}
+
+void GraphSpec::ensure_plans() {
+  if (senders_shared && receivers_shared && receiver_plan) return;
+  senders_shared = std::make_shared<const std::vector<int>>(senders);
+  receivers_shared = std::make_shared<const std::vector<int>>(receivers);
+  receiver_plan = std::make_shared<const nn::kernels::SegmentPlan>(
+      nn::kernels::build_segment_plan(receivers, num_nodes));
 }
 
 namespace {
@@ -75,8 +84,16 @@ GraphVars GnBlock::forward(Tape& tape, const GraphSpec& spec,
 
   // --- phi_e: update every edge from [e_k, v_sender, v_receiver, u] ---
   obs::ScopedTimer edge_timer("gnn/block/edge");
-  const Tape::Var sender_feats = tape.gather_rows(in.nodes, spec.senders);
-  const Tape::Var receiver_feats = tape.gather_rows(in.nodes, spec.receivers);
+  // Planned specs share index vectors / the bucketed segment plan with
+  // the tape by pointer; unplanned (hand-rolled) specs copy per call.
+  const bool planned =
+      spec.senders_shared && spec.receivers_shared && spec.receiver_plan;
+  const Tape::Var sender_feats =
+      planned ? tape.gather_rows(in.nodes, spec.senders_shared)
+              : tape.gather_rows(in.nodes, spec.senders);
+  const Tape::Var receiver_feats =
+      planned ? tape.gather_rows(in.nodes, spec.receivers_shared)
+              : tape.gather_rows(in.nodes, spec.receivers);
   const Tape::Var u_per_edge = tape.broadcast_rows(in.globals, num_edges);
   Tape::Var edge_input = tape.concat_cols(in.edges, sender_feats);
   edge_input = tape.concat_cols(edge_input, receiver_feats);
@@ -87,7 +104,8 @@ GraphVars GnBlock::forward(Tape& tape, const GraphSpec& spec,
   // --- rho_{e->v}: aggregate updated edges at their receiver ---
   obs::ScopedTimer node_timer("gnn/block/node");
   const Tape::Var agg_edges =
-      tape.segment_sum(edges_out, spec.receivers, spec.num_nodes);
+      planned ? tape.segment_sum(edges_out, spec.receiver_plan)
+              : tape.segment_sum(edges_out, spec.receivers, spec.num_nodes);
 
   // --- phi_v: update every node from [agg_edges, v_i, u] ---
   const Tape::Var u_per_node = tape.broadcast_rows(in.globals, spec.num_nodes);

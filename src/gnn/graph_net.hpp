@@ -16,9 +16,11 @@
 // "extra loop" in the paper's Figure 5), and an independent decoder.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "nn/kernels.hpp"
 #include "nn/mlp.hpp"
 #include "nn/tape.hpp"
 #include "util/rng.hpp"
@@ -27,12 +29,26 @@ namespace gddr::gnn {
 
 // Immutable connectivity: which node each directed edge leaves (sender)
 // and enters (receiver).
+//
+// The shared_ptr members are per-topology kernel plans, built once by
+// ensure_plans() and then reused by every GnBlock::forward on this spec —
+// the tape retains them by pointer, so repeated forwards copy no index
+// data and the bucketed segment-sum sorts the receiver ids exactly once.
 struct GraphSpec {
   int num_nodes = 0;
   std::vector<int> senders;
   std::vector<int> receivers;
 
+  // Built by ensure_plans(); null until then (GnBlock falls back to the
+  // unplanned tape ops when null, so hand-rolled specs keep working).
+  std::shared_ptr<const std::vector<int>> senders_shared;
+  std::shared_ptr<const std::vector<int>> receivers_shared;
+  std::shared_ptr<const nn::kernels::SegmentPlan> receiver_plan;
+
   static GraphSpec from(const graph::DiGraph& g);
+  // Idempotently builds the shared index vectors and the bucketed
+  // segment-sum plan from senders/receivers/num_nodes.
+  void ensure_plans();
   int num_edges() const { return static_cast<int>(senders.size()); }
 };
 

@@ -29,22 +29,6 @@ Mlp::Mlp(int in, int out, const MlpConfig& config, util::Rng& rng)
   }
 }
 
-namespace {
-
-Tape::Var apply_activation(Tape& tape, Tape::Var x, Activation act) {
-  switch (act) {
-    case Activation::kIdentity:
-      return x;
-    case Activation::kRelu:
-      return tape.relu(x);
-    case Activation::kTanh:
-      return tape.tanh(x);
-  }
-  throw std::logic_error("unknown activation");
-}
-
-}  // namespace
-
 Tape::Var Mlp::forward(Tape& tape, Tape::Var x) {
   if (tape.value(x).cols() != in_) {
     throw std::invalid_argument("Mlp::forward: input has " +
@@ -53,11 +37,12 @@ Tape::Var Mlp::forward(Tape& tape, Tape::Var x) {
   }
   Tape::Var h = x;
   for (size_t l = 0; l < weights_.size(); ++l) {
-    h = tape.add_bias(tape.matmul(h, tape.leaf(weights_[l])),
-                      tape.leaf(biases_[l]));
     const bool last = (l + 1 == weights_.size());
-    h = apply_activation(
-        tape, h, last ? config_.output_activation : config_.hidden_activation);
+    // One fused node per layer: matmul + bias + activation forward, and a
+    // transpose-free backward that touches each buffer once.
+    h = tape.linear(h, tape.leaf(weights_[l]), tape.leaf(biases_[l]),
+                    last ? config_.output_activation
+                         : config_.hidden_activation);
   }
   return h;
 }

@@ -4,12 +4,13 @@
 
 #include <vector>
 
+#include "nn/kernels.hpp"
 #include "nn/tape.hpp"
 #include "util/rng.hpp"
 
 namespace gddr::nn {
-
-enum class Activation { kIdentity, kRelu, kTanh };
+// Activation is defined in nn/kernels.hpp (the fused linear kernel
+// consumes it); re-exported here for existing includers.
 
 struct MlpConfig {
   std::vector<int> hidden{64, 64};

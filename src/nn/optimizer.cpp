@@ -18,6 +18,18 @@ void Sgd::step(std::span<Parameter* const> params) {
 Adam::Adam(double lr, double beta1, double beta2, double eps)
     : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
   if (lr <= 0.0) throw std::invalid_argument("Adam: lr <= 0");
+  // Betas must lie in [0, 1): at beta == 1 the bias correction
+  // 1 - beta^t is exactly 0 and the very first step divides by zero,
+  // producing NaN/Inf parameters with no diagnostic.  (For any beta < 1,
+  // pow(beta, t) decays towards 0 as t grows, so the correction tends to
+  // 1 — large restored step counts are safe, never a division hazard.)
+  if (!(beta1 >= 0.0 && beta1 < 1.0)) {
+    throw std::invalid_argument("Adam: beta1 outside [0, 1)");
+  }
+  if (!(beta2 >= 0.0 && beta2 < 1.0)) {
+    throw std::invalid_argument("Adam: beta2 outside [0, 1)");
+  }
+  if (!(eps > 0.0)) throw std::invalid_argument("Adam: eps <= 0");
 }
 
 void Adam::step(std::span<Parameter* const> params) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "nn/nn_invariants.hpp"
 #include "obs/metrics.hpp"
@@ -33,11 +34,30 @@ Tape::Var Tape::push(Tensor value, std::function<void(Tape&, int)> backward_fn) 
   return Var{static_cast<int>(nodes_.size()) - 1};
 }
 
-Tape::Var Tape::constant(Tensor value) { return push(std::move(value), {}); }
+void Tape::reset() {
+  for (Node& n : nodes_) {
+    if (n.value.capacity() != 0) arena_.release(std::move(n.value));
+    if (n.grad.capacity() != 0) arena_.release(std::move(n.grad));
+  }
+  nodes_.clear();
+  retained_.clear();
+  if (obs::enabled()) {
+    obs::gauge("nn/arena_bytes", static_cast<double>(arena_.bytes_allocated()));
+    obs::gauge("nn/arena_reuse", static_cast<double>(arena_.reuse_count()));
+  }
+}
+
+Tape::Var Tape::constant(const Tensor& value) {
+  return push(alloc_copy(value), {});
+}
+
+Tape::Var Tape::constant(Tensor&& value) { return push(std::move(value), {}); }
+
+Tape::Var Tape::zeros(int rows, int cols) { return push(alloc(rows, cols), {}); }
 
 Tape::Var Tape::leaf(Parameter& p) {
   Node n;
-  n.value = p.value;
+  n.value = alloc_copy(p.value);
   n.parameter = &p;
   nodes_.push_back(std::move(n));
   return Var{static_cast<int>(nodes_.size()) - 1};
@@ -47,7 +67,7 @@ Tape::Var Tape::leaf(Parameter& p) {
 
 Tape::Var Tape::add(Var a, Var b) {
   check_same_shape(a, b, "add");
-  Tensor out = node(a).value;
+  Tensor out = alloc_copy(node(a).value);
   out.add_in_place(node(b).value);
   const int ia = a.id;
   const int ib = b.id;
@@ -59,7 +79,7 @@ Tape::Var Tape::add(Var a, Var b) {
 
 Tape::Var Tape::sub(Var a, Var b) {
   check_same_shape(a, b, "sub");
-  Tensor out = node(a).value;
+  Tensor out = alloc_copy(node(a).value);
   const auto bd = node(b).value.data();
   auto od = out.data();
   for (size_t i = 0; i < od.size(); ++i) od[i] -= bd[i];
@@ -78,7 +98,7 @@ Tape::Var Tape::sub(Var a, Var b) {
 
 Tape::Var Tape::mul(Var a, Var b) {
   check_same_shape(a, b, "mul");
-  Tensor out = node(a).value;
+  Tensor out = alloc_copy(node(a).value);
   const auto bd = node(b).value.data();
   auto od = out.data();
   for (size_t i = 0; i < od.size(); ++i) od[i] *= bd[i];
@@ -99,7 +119,7 @@ Tape::Var Tape::mul(Var a, Var b) {
 
 Tape::Var Tape::div(Var a, Var b) {
   check_same_shape(a, b, "div");
-  Tensor out = node(a).value;
+  Tensor out = alloc_copy(node(a).value);
   const auto bd = node(b).value.data();
   auto od = out.data();
   for (size_t i = 0; i < od.size(); ++i) od[i] /= bd[i];
@@ -120,7 +140,7 @@ Tape::Var Tape::div(Var a, Var b) {
 
 Tape::Var Tape::minimum(Var a, Var b) {
   check_same_shape(a, b, "minimum");
-  Tensor out = node(a).value;
+  Tensor out = alloc_copy(node(a).value);
   const auto bd = node(b).value.data();
   auto od = out.data();
   for (size_t i = 0; i < od.size(); ++i) od[i] = std::min(od[i], bd[i]);
@@ -144,7 +164,7 @@ Tape::Var Tape::minimum(Var a, Var b) {
 
 Tape::Var Tape::maximum(Var a, Var b) {
   check_same_shape(a, b, "maximum");
-  Tensor out = node(a).value;
+  Tensor out = alloc_copy(node(a).value);
   const auto bd = node(b).value.data();
   auto od = out.data();
   for (size_t i = 0; i < od.size(); ++i) od[i] = std::max(od[i], bd[i]);
@@ -177,45 +197,72 @@ Tape::Var Tape::matmul(Var a, Var b) {
     throw std::invalid_argument("matmul: inner dims " + av.shape_str() +
                                 " x " + bv.shape_str());
   }
-  Tensor out(av.rows(), bv.cols());
-  // ikj loop order for row-major locality.
-  for (int i = 0; i < av.rows(); ++i) {
-    for (int k = 0; k < av.cols(); ++k) {
-      const float aik = av.at(i, k);
-      if (aik == 0.0F) continue;
-      for (int j = 0; j < bv.cols(); ++j) {
-        out.at(i, j) += aik * bv.at(k, j);
-      }
-    }
-  }
+  Tensor out = alloc(av.rows(), bv.cols());
+  kernels::matmul_nn(av.rows(), av.cols(), bv.cols(), av.data().data(),
+                     bv.data().data(), out.data().data(), pool_);
   const int ia = a.id;
   const int ib = b.id;
   return push(std::move(out), [ia, ib](Tape& t, int self) {
     const Tensor& g = t.grad_of(self);
-    const Tensor& A = t.value_of(ia);
-    const Tensor& B = t.value_of(ib);
-    Tensor& gA = t.grad_of(ia);
-    Tensor& gB = t.grad_of(ib);
-    // gA += G * B^T
-    for (int i = 0; i < g.rows(); ++i) {
-      for (int j = 0; j < g.cols(); ++j) {
-        const float gij = g.at(i, j);
-        if (gij == 0.0F) continue;
-        for (int k = 0; k < B.rows(); ++k) {
-          gA.at(i, k) += gij * B.at(k, j);
-        }
-      }
+    const Tensor& va = t.value_of(ia);
+    const Tensor& vb = t.value_of(ib);
+    // gA += G * B^T, gB += A^T * G — transpose-free kernel variants.
+    kernels::matmul_nt_acc(g.rows(), g.cols(), va.cols(), g.data().data(),
+                           vb.data().data(), t.grad_of(ia).data().data(),
+                           t.pool_);
+    kernels::matmul_tn_acc(va.rows(), va.cols(), g.cols(), va.data().data(),
+                           g.data().data(), t.grad_of(ib).data().data(),
+                           t.pool_);
+  });
+}
+
+Tape::Var Tape::linear(Var x, Var w, Var bias, Activation act) {
+  check_var(x, "linear");
+  check_var(w, "linear");
+  check_var(bias, "linear");
+  const Tensor& xv = node(x).value;
+  const Tensor& wv = node(w).value;
+  const Tensor& bv = node(bias).value;
+  if (xv.cols() != wv.rows()) {
+    throw std::invalid_argument("linear: inner dims " + xv.shape_str() +
+                                " x " + wv.shape_str());
+  }
+  if (bv.rows() != 1 || bv.cols() != wv.cols()) {
+    throw std::invalid_argument("linear: bias " + bv.shape_str() +
+                                " for weights " + wv.shape_str());
+  }
+  Tensor out = alloc(xv.rows(), wv.cols());
+  kernels::matmul_nn(xv.rows(), xv.cols(), wv.cols(), xv.data().data(),
+                     wv.data().data(), out.data().data(), pool_);
+  kernels::bias_act(out.rows(), out.cols(), out.data().data(),
+                    bv.data().data(), out.data().data(), act);
+  const int ix = x.id;
+  const int iw = w.id;
+  const int ib = bias.id;
+  return push(std::move(out), [ix, iw, ib, act](Tape& t, int self) {
+    const Tensor& g = t.grad_of(self);
+    const Tensor& y = t.value_of(self);
+    const Tensor& vx = t.value_of(ix);
+    const Tensor& vw = t.value_of(iw);
+    const int m = g.rows();
+    const int n = g.cols();
+    const int k = vx.cols();
+    // d = g ⊙ act'(pre), expressed via the post-activation y; identity
+    // needs no scratch at all.
+    Tensor scratch;
+    const float* d = g.data().data();
+    if (act != Activation::kIdentity) {
+      scratch = t.arena_.acquire(m, n);
+      kernels::act_grad(g.size(), d, y.data().data(), scratch.data().data(),
+                        act);
+      d = scratch.data().data();
     }
-    // gB += A^T * G
-    for (int i = 0; i < A.rows(); ++i) {
-      for (int k = 0; k < A.cols(); ++k) {
-        const float aik = A.at(i, k);
-        if (aik == 0.0F) continue;
-        for (int j = 0; j < g.cols(); ++j) {
-          gB.at(k, j) += aik * g.at(i, j);
-        }
-      }
-    }
+    kernels::matmul_nt_acc(m, n, k, d, vw.data().data(),
+                           t.grad_of(ix).data().data(), t.pool_);
+    kernels::matmul_tn_acc(m, k, n, vx.data().data(), d,
+                           t.grad_of(iw).data().data(), t.pool_);
+    kernels::col_sum_acc(m, n, d, t.grad_of(ib).data().data());
+    if (scratch.capacity() != 0) t.arena_.release(std::move(scratch));
   });
 }
 
@@ -228,7 +275,7 @@ Tape::Var Tape::add_bias(Var m, Var bias) {
     throw std::invalid_argument("add_bias: bias " + bv.shape_str() +
                                 " for matrix " + mv.shape_str());
   }
-  Tensor out = mv;
+  Tensor out = alloc_copy(mv);
   for (int i = 0; i < out.rows(); ++i) {
     for (int j = 0; j < out.cols(); ++j) out.at(i, j) += bv.at(0, j);
   }
@@ -252,7 +299,7 @@ Tape::Var Tape::broadcast_rows(Var rowvec, int n) {
                                 rv.shape_str());
   }
   if (n <= 0) throw std::invalid_argument("broadcast_rows: n <= 0");
-  Tensor out(n, rv.cols());
+  Tensor out = alloc(n, rv.cols());
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < rv.cols(); ++j) out.at(i, j) = rv.at(0, j);
   }
@@ -274,7 +321,7 @@ Tape::Var Tape::broadcast_cols(Var colvec, int n) {
                                 cv.shape_str());
   }
   if (n <= 0) throw std::invalid_argument("broadcast_cols: n <= 0");
-  Tensor out(cv.rows(), n);
+  Tensor out = alloc(cv.rows(), n);
   for (int i = 0; i < cv.rows(); ++i) {
     for (int j = 0; j < n; ++j) out.at(i, j) = cv.at(i, 0);
   }
@@ -296,7 +343,7 @@ Tape::Var Tape::reshape(Var x, int rows, int cols) {
     throw std::invalid_argument("reshape: element count mismatch for " +
                                 xv.shape_str());
   }
-  Tensor out(rows, cols);
+  Tensor out = alloc(rows, cols);
   const auto src = xv.data();
   auto dst = out.data();
   for (size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
@@ -317,7 +364,7 @@ Tape::Var Tape::concat_cols(Var a, Var b) {
     throw std::invalid_argument("concat_cols: row mismatch " +
                                 av.shape_str() + " vs " + bv.shape_str());
   }
-  Tensor out(av.rows(), av.cols() + bv.cols());
+  Tensor out = alloc(av.rows(), av.cols() + bv.cols());
   for (int i = 0; i < av.rows(); ++i) {
     for (int j = 0; j < av.cols(); ++j) out.at(i, j) = av.at(i, j);
     for (int j = 0; j < bv.cols(); ++j) {
@@ -346,7 +393,7 @@ Tape::Var Tape::slice_cols(Var m, int start, int len) {
                                 ", +" + std::to_string(len) + ") of " +
                                 mv.shape_str());
   }
-  Tensor out(mv.rows(), len);
+  Tensor out = alloc(mv.rows(), len);
   for (int i = 0; i < mv.rows(); ++i) {
     for (int j = 0; j < len; ++j) out.at(i, j) = mv.at(i, start + j);
   }
@@ -360,6 +407,30 @@ Tape::Var Tape::slice_cols(Var m, int start, int len) {
   });
 }
 
+namespace {
+
+void gather_rows_forward(const gddr::nn::Tensor& mv,
+                         const std::vector<int>& indices,
+                         gddr::nn::Tensor& out) {
+  for (size_t i = 0; i < indices.size(); ++i) {
+    for (int j = 0; j < mv.cols(); ++j) {
+      out.at(static_cast<int>(i), j) = mv.at(indices[i], j);
+    }
+  }
+}
+
+void gather_rows_backward(const gddr::nn::Tensor& g,
+                          const std::vector<int>& indices,
+                          gddr::nn::Tensor& gm) {
+  for (size_t i = 0; i < indices.size(); ++i) {
+    for (int j = 0; j < g.cols(); ++j) {
+      gm.at(indices[i], j) += g.at(static_cast<int>(i), j);
+    }
+  }
+}
+
+}  // namespace
+
 Tape::Var Tape::gather_rows(Var m, std::vector<int> indices) {
   check_var(m, "gather_rows");
   const Tensor& mv = node(m).value;
@@ -368,23 +439,33 @@ Tape::Var Tape::gather_rows(Var m, std::vector<int> indices) {
       throw std::invalid_argument("gather_rows: index out of range");
     }
   }
-  Tensor out(static_cast<int>(indices.size()), mv.cols());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    for (int j = 0; j < mv.cols(); ++j) {
-      out.at(static_cast<int>(i), j) = mv.at(indices[i], j);
-    }
-  }
+  Tensor out = alloc(static_cast<int>(indices.size()), mv.cols());
+  gather_rows_forward(mv, indices, out);
   const int im = m.id;
   return push(std::move(out),
               [im, indices = std::move(indices)](Tape& t, int self) {
-                const Tensor& g = t.grad_of(self);
-                Tensor& gm = t.grad_of(im);
-                for (size_t i = 0; i < indices.size(); ++i) {
-                  for (int j = 0; j < g.cols(); ++j) {
-                    gm.at(indices[i], j) += g.at(static_cast<int>(i), j);
-                  }
-                }
+                gather_rows_backward(t.grad_of(self), indices, t.grad_of(im));
               });
+}
+
+Tape::Var Tape::gather_rows(Var m,
+                            std::shared_ptr<const std::vector<int>> indices) {
+  check_var(m, "gather_rows");
+  if (!indices) throw std::invalid_argument("gather_rows: null indices");
+  const Tensor& mv = node(m).value;
+  for (int idx : *indices) {
+    if (idx < 0 || idx >= mv.rows()) {
+      throw std::invalid_argument("gather_rows: index out of range");
+    }
+  }
+  Tensor out = alloc(static_cast<int>(indices->size()), mv.cols());
+  gather_rows_forward(mv, *indices, out);
+  const int im = m.id;
+  const std::vector<int>* idx = indices.get();
+  retained_.push_back(std::move(indices));
+  return push(std::move(out), [im, idx](Tape& t, int self) {
+    gather_rows_backward(t.grad_of(self), *idx, t.grad_of(im));
+  });
 }
 
 Tape::Var Tape::segment_sum(Var m, std::vector<int> segments,
@@ -399,7 +480,7 @@ Tape::Var Tape::segment_sum(Var m, std::vector<int> segments,
       throw std::invalid_argument("segment_sum: segment id out of range");
     }
   }
-  Tensor out(num_segments, mv.cols());
+  Tensor out = alloc(num_segments, mv.cols());
   for (size_t i = 0; i < segments.size(); ++i) {
     for (int j = 0; j < mv.cols(); ++j) {
       out.at(segments[i], j) += mv.at(static_cast<int>(i), j);
@@ -418,13 +499,32 @@ Tape::Var Tape::segment_sum(Var m, std::vector<int> segments,
               });
 }
 
+Tape::Var Tape::segment_sum(Var m,
+                            std::shared_ptr<const kernels::SegmentPlan> plan) {
+  check_var(m, "segment_sum");
+  if (!plan) throw std::invalid_argument("segment_sum: null plan");
+  const Tensor& mv = node(m).value;
+  if (plan->num_rows() != mv.rows()) {
+    throw std::invalid_argument("segment_sum: plan rows != input rows");
+  }
+  Tensor out = alloc(plan->num_segments, mv.cols());
+  kernels::segment_sum(*plan, mv.cols(), mv.data().data(), out.data().data());
+  const int im = m.id;
+  const kernels::SegmentPlan* p = plan.get();
+  retained_.push_back(std::move(plan));
+  return push(std::move(out), [im, p](Tape& t, int self) {
+    const Tensor& g = t.grad_of(self);
+    kernels::segment_sum_grad(*p, g.cols(), g.data().data(),
+                              t.grad_of(im).data().data());
+  });
+}
+
 // ---------- unary ----------
 
 namespace {
 
 template <typename Fwd>
-Tensor apply_unary(const Tensor& x, Fwd fwd) {
-  Tensor out = x;
+Tensor apply_unary(Tensor out, Fwd fwd) {
   for (float& v : out.data()) v = fwd(v);
   return out;
 }
@@ -433,7 +533,7 @@ Tensor apply_unary(const Tensor& x, Fwd fwd) {
 
 Tape::Var Tape::relu(Var x) {
   check_var(x, "relu");
-  Tensor out = apply_unary(node(x).value,
+  Tensor out = apply_unary(alloc_copy(node(x).value),
                            [](float v) { return v > 0.0F ? v : 0.0F; });
   const int ix = x.id;
   return push(std::move(out), [ix](Tape& t, int self) {
@@ -448,7 +548,7 @@ Tape::Var Tape::relu(Var x) {
 
 Tape::Var Tape::tanh(Var x) {
   check_var(x, "tanh");
-  Tensor out = apply_unary(node(x).value,
+  Tensor out = apply_unary(alloc_copy(node(x).value),
                            [](float v) { return std::tanh(v); });
   const int ix = x.id;
   return push(std::move(out), [ix](Tape& t, int self) {
@@ -463,7 +563,7 @@ Tape::Var Tape::tanh(Var x) {
 
 Tape::Var Tape::sigmoid(Var x) {
   check_var(x, "sigmoid");
-  Tensor out = apply_unary(node(x).value, [](float v) {
+  Tensor out = apply_unary(alloc_copy(node(x).value), [](float v) {
     return 1.0F / (1.0F + std::exp(-v));
   });
   const int ix = x.id;
@@ -479,7 +579,7 @@ Tape::Var Tape::sigmoid(Var x) {
 
 Tape::Var Tape::exp(Var x) {
   check_var(x, "exp");
-  Tensor out = apply_unary(node(x).value,
+  Tensor out = apply_unary(alloc_copy(node(x).value),
                            [](float v) { return std::exp(v); });
   const int ix = x.id;
   return push(std::move(out), [ix](Tape& t, int self) {
@@ -492,7 +592,7 @@ Tape::Var Tape::exp(Var x) {
 
 Tape::Var Tape::log(Var x) {
   check_var(x, "log");
-  Tensor out = apply_unary(node(x).value,
+  Tensor out = apply_unary(alloc_copy(node(x).value),
                            [](float v) { return std::log(v); });
   const int ix = x.id;
   return push(std::move(out), [ix](Tape& t, int self) {
@@ -505,7 +605,8 @@ Tape::Var Tape::log(Var x) {
 
 Tape::Var Tape::square(Var x) {
   check_var(x, "square");
-  Tensor out = apply_unary(node(x).value, [](float v) { return v * v; });
+  Tensor out = apply_unary(alloc_copy(node(x).value),
+                           [](float v) { return v * v; });
   const int ix = x.id;
   return push(std::move(out), [ix](Tape& t, int self) {
     const auto g = t.grad_of(self).data();
@@ -519,7 +620,8 @@ Tape::Var Tape::neg(Var x) { return scale(x, -1.0F); }
 
 Tape::Var Tape::scale(Var x, float k) {
   check_var(x, "scale");
-  Tensor out = apply_unary(node(x).value, [k](float v) { return k * v; });
+  Tensor out = apply_unary(alloc_copy(node(x).value),
+                           [k](float v) { return k * v; });
   const int ix = x.id;
   return push(std::move(out), [ix, k](Tape& t, int self) {
     const auto g = t.grad_of(self).data();
@@ -530,7 +632,8 @@ Tape::Var Tape::scale(Var x, float k) {
 
 Tape::Var Tape::add_scalar(Var x, float k) {
   check_var(x, "add_scalar");
-  Tensor out = apply_unary(node(x).value, [k](float v) { return v + k; });
+  Tensor out = apply_unary(alloc_copy(node(x).value),
+                           [k](float v) { return v + k; });
   const int ix = x.id;
   return push(std::move(out), [ix](Tape& t, int self) {
     t.grad_of(ix).add_in_place(t.grad_of(self));
@@ -540,7 +643,7 @@ Tape::Var Tape::add_scalar(Var x, float k) {
 Tape::Var Tape::clip(Var x, float lo, float hi) {
   check_var(x, "clip");
   if (!(lo < hi)) throw std::invalid_argument("clip: lo >= hi");
-  Tensor out = apply_unary(node(x).value, [lo, hi](float v) {
+  Tensor out = apply_unary(alloc_copy(node(x).value), [lo, hi](float v) {
     return std::min(hi, std::max(lo, v));
   });
   const int ix = x.id;
@@ -560,7 +663,7 @@ Tape::Var Tape::sum_all(Var x) {
   check_var(x, "sum_all");
   double total = 0.0;
   for (float v : node(x).value.data()) total += v;
-  Tensor out(1, 1);
+  Tensor out = alloc(1, 1);
   out.at(0, 0) = static_cast<float>(total);
   const int ix = x.id;
   return push(std::move(out), [ix](Tape& t, int self) {
@@ -579,7 +682,7 @@ Tape::Var Tape::mean_all(Var x) {
 Tape::Var Tape::sum_rows(Var x) {
   check_var(x, "sum_rows");
   const Tensor& xv = node(x).value;
-  Tensor out(1, xv.cols());
+  Tensor out = alloc(1, xv.cols());
   for (int i = 0; i < xv.rows(); ++i) {
     for (int j = 0; j < xv.cols(); ++j) out.at(0, j) += xv.at(i, j);
   }
@@ -596,7 +699,7 @@ Tape::Var Tape::sum_rows(Var x) {
 Tape::Var Tape::sum_cols(Var x) {
   check_var(x, "sum_cols");
   const Tensor& xv = node(x).value;
-  Tensor out(xv.rows(), 1);
+  Tensor out = alloc(xv.rows(), 1);
   for (int i = 0; i < xv.rows(); ++i) {
     for (int j = 0; j < xv.cols(); ++j) out.at(i, 0) += xv.at(i, j);
   }
@@ -635,9 +738,12 @@ void Tape::backward(Var loss) {
     throw std::invalid_argument("backward: loss must be 1x1, got " +
                                 lv.shape_str());
   }
-  // Release buffers from any previous backward instead of zero-filling
-  // them, so only nodes this pass actually reaches get (re)allocated.
-  for (auto& n : nodes_) n.grad = Tensor();
+  // Recycle buffers from any previous backward instead of zero-filling
+  // them, so only nodes this pass actually reaches get (re)acquired.
+  for (auto& n : nodes_) {
+    if (n.grad.capacity() != 0) arena_.release(std::move(n.grad));
+    n.grad = Tensor();
+  }
   const std::size_t allocs_before = grad_allocs_;
   grad_of(loss.id).at(0, 0) = 1.0F;
   for (int i = loss.id; i >= 0; --i) {

@@ -8,17 +8,34 @@
 //
 // The op set is exactly what the MLP policy, the Battaglia graph-network
 // block (gather / segment-sum / concat / broadcast) and the PPO loss
-// (elementwise arithmetic, clip, min, reductions) require.
+// (elementwise arithmetic, clip, min, reductions) require.  The dense
+// kernels behind matmul / linear / segment_sum live in nn/kernels.hpp;
+// they are bit-compatible with the naive reference loops and optionally
+// shard large matmuls across a util::ThreadPool (see set_thread_pool).
+//
+// Memory model: every node value and gradient buffer is acquired from the
+// tape's TensorArena and returned to it by reset() (or, for gradients, at
+// the start of the next backward()).  A long-lived tape that is reset()
+// between iterations therefore performs no steady-state heap allocation —
+// the arena's miss/reuse counters (obs gauges nn/arena_bytes and
+// nn/arena_reuse) prove it.
 //
 // Shapes are validated eagerly; a mismatch throws std::invalid_argument
 // with both shapes in the message.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "nn/kernels.hpp"
 #include "nn/tensor.hpp"
 #include "util/contract.hpp"
+
+namespace gddr::util {
+class ThreadPool;
+}  // namespace gddr::util
 
 namespace gddr::nn {
 
@@ -33,8 +50,22 @@ class Tape {
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
 
+  // Large matmuls shard output rows across `pool` (null/inline = serial).
+  // The split is deterministic: results are bit-identical for any worker
+  // count.  The pool must not be one whose workers run this tape's
+  // forward/backward (a worker waiting on its own queue would deadlock).
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* thread_pool() const { return pool_; }
+
+  // Drops all nodes and recycles every value/grad buffer into the arena.
+  // Vars from before the reset are invalidated.
+  void reset();
+
   // --- leaves ---
-  Var constant(Tensor value);
+  Var constant(const Tensor& value);  // copies via the arena
+  Var constant(Tensor&& value);       // adopts the buffer
+  // Zero-filled rows x cols constant straight from the arena.
+  Var zeros(int rows, int cols);
   // Gradient flows into `p.grad` on backward(); `p` must outlive the tape.
   Var leaf(Parameter& p);
 
@@ -48,6 +79,9 @@ class Tape {
 
   // --- linear algebra / shaping ---
   Var matmul(Var a, Var b);
+  // Fused act(x * w + bias): one kernel pass in each direction, no
+  // transpose materialisation in backward.  x is NxI, w is IxO, bias 1xO.
+  Var linear(Var x, Var w, Var bias, Activation act);
   // Adds a 1xC bias row to every row of an NxC matrix.
   Var add_bias(Var m, Var bias);
   // 1xC -> NxC by repetition (backward sums over rows).
@@ -60,9 +94,16 @@ class Tape {
   Var slice_cols(Var m, int start, int len);
   // out[i] = m[indices[i]] (rows); backward scatter-adds.
   Var gather_rows(Var m, std::vector<int> indices);
+  // Shared-index variant: the index vector is retained by pointer, so
+  // repeated forward passes on one topology copy nothing and the closure
+  // stays within std::function's small-buffer optimisation.
+  Var gather_rows(Var m, std::shared_ptr<const std::vector<int>> indices);
   // out[s] = sum of rows i with segments[i] == s; the unsorted_segment_sum
   // pooling of the paper's GN blocks.
   Var segment_sum(Var m, std::vector<int> segments, int num_segments);
+  // Planned variant: the bucketed plan is built once per topology
+  // (kernels::build_segment_plan) and shared across forward calls.
+  Var segment_sum(Var m, std::shared_ptr<const kernels::SegmentPlan> plan);
 
   // --- unary ---
   Var relu(Var x);
@@ -97,6 +138,12 @@ class Tape {
   // rollout step) reports 0 here no matter how many nodes it records.
   std::size_t grad_allocations() const { return grad_allocs_; }
 
+  // Arena telemetry (also exported as obs gauges at reset()).  In steady
+  // state arena_bytes/arena_misses are flat and arena_reuse grows.
+  std::size_t arena_bytes() const { return arena_.bytes_allocated(); }
+  std::uint64_t arena_reuse() const { return arena_.reuse_count(); }
+  std::uint64_t arena_misses() const { return arena_.miss_count(); }
+
  private:
   struct Node {
     Tensor value;
@@ -123,7 +170,7 @@ class Tape {
                    active_backward_node_);
     Node& n = nodes_[static_cast<size_t>(id)];
     if (!n.grad.same_shape(n.value)) {
-      n.grad = Tensor::zeros_like(n.value);
+      n.grad = arena_.acquire(n.value.rows(), n.value.cols());
       ++grad_allocs_;
     }
     return n.grad;
@@ -132,11 +179,21 @@ class Tape {
     return nodes_[static_cast<size_t>(id)].value;
   }
 
+  // Arena shorthands every op allocates through.
+  Tensor alloc(int rows, int cols) { return arena_.acquire(rows, cols); }
+  Tensor alloc_copy(const Tensor& src) { return arena_.acquire_copy(src); }
+
   Var push(Tensor value, std::function<void(Tape&, int)> backward_fn);
   void check_var(Var v, const char* op) const;
   void check_same_shape(Var a, Var b, const char* op) const;
 
   std::vector<Node> nodes_;
+  // Keeps shared index vectors / segment plans alive for the closures that
+  // capture them by raw pointer (raw captures keep the closures inside
+  // std::function's small-buffer optimisation — no per-node allocation).
+  std::vector<std::shared_ptr<const void>> retained_;
+  kernels::TensorArena arena_;
+  util::ThreadPool* pool_ = nullptr;
   std::size_t grad_allocs_ = 0;
   // Node whose backward_fn is currently running (-1 outside backward);
   // read by the monotonicity contract in grad_of.

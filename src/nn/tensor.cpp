@@ -39,6 +39,23 @@ std::string Tensor::shape_str() const {
   return "[" + std::to_string(rows_) + "x" + std::to_string(cols_) + "]";
 }
 
+void Tensor::reshape_zero(int rows, int cols) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("negative shape");
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0F);
+}
+
+void Tensor::reshape_copy(int rows, int cols, std::span<const float> src) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("negative shape");
+  if (src.size() != static_cast<size_t>(rows) * static_cast<size_t>(cols)) {
+    throw std::invalid_argument("reshape_copy: size mismatch");
+  }
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(src.begin(), src.end());
+}
+
 void Tensor::fill(float value) {
   for (float& v : data_) v = value;
 }

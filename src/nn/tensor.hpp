@@ -45,6 +45,18 @@ class Tensor {
   std::span<float> data() { return data_; }
   std::span<const float> data() const { return data_; }
 
+  // Heap capacity of the backing store in floats.  The tensor pool
+  // (kernels::TensorArena) classifies recycled buffers by this.
+  std::size_t capacity() const { return data_.capacity(); }
+  // Grows the backing store without changing the logical shape.
+  void reserve(std::size_t n) { data_.reserve(n); }
+  // Reshapes to rows x cols, zero-filled, reusing the existing backing
+  // store when its capacity suffices (no allocation in that case).
+  void reshape_zero(int rows, int cols);
+  // Reshapes to rows x cols and copies `src` (size rows*cols) into the
+  // backing store, again reusing capacity when possible.
+  void reshape_copy(int rows, int cols, std::span<const float> src);
+
   void fill(float value);
   void add_in_place(const Tensor& other);
   void scale_in_place(float factor);

@@ -9,7 +9,11 @@
 namespace gddr::rl {
 
 PolicyForward forward_policy(Policy& policy, const Observation& obs) {
-  nn::Tape tape;
+  // One long-lived tape per thread (rollout collectors call this
+  // concurrently): reset() recycles every buffer through the tape's
+  // arena, so steady-state rollout steps allocate nothing.
+  thread_local nn::Tape tape;
+  tape.reset();
   const int adim = policy.action_dim(obs);
   const nn::Tape::Var mean = policy.action_mean(tape, obs);
   const nn::Tape::Var value = policy.value(tape, obs);

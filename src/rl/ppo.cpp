@@ -30,6 +30,7 @@ PpoTrainer::PpoTrainer(Policy& policy, std::vector<Env*> envs,
       rng_(seed),
       optimizer_(config.learning_rate),
       params_(policy.parameters()),
+      pool_(pool),
       collector_(policy, std::move(envs), seed, pool),
       steps_per_env_((config.rollout_steps + collector_.num_envs() - 1) /
                      collector_.num_envs()),
@@ -107,8 +108,14 @@ PpoIterationStats PpoTrainer::update(RolloutBuffer& buffer) {
           order.size(), start + static_cast<size_t>(config_.minibatch_size));
       const auto batch_size = static_cast<float>(end - start);
 
-      Tape tape;
-      Tape::Var total_loss = tape.constant(Tensor(1, 1));
+      // Member tape, reset per minibatch: the arena recycles every
+      // value/grad buffer, so steady-state updates allocate nothing.
+      // Only this main-thread tape gets the pool — collector workers run
+      // their own tapes, and handing them the same pool would deadlock.
+      Tape& tape = update_tape_;
+      tape.reset();
+      tape.set_thread_pool(pool_);
+      Tape::Var total_loss = tape.zeros(1, 1);
       double batch_kl = 0.0;
       double batch_clipfrac = 0.0;
       double batch_policy_loss = 0.0;

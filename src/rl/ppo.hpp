@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nn/optimizer.hpp"
+#include "nn/tape.hpp"
 #include "rl/env.hpp"
 #include "rl/health.hpp"
 #include "rl/policy.hpp"
@@ -112,6 +113,12 @@ class PpoTrainer {
   util::Rng rng_;  // minibatch shuffling
   nn::Adam optimizer_;
   std::vector<nn::Parameter*> params_;
+  // Long-lived update tape: reset per minibatch so its arena recycles
+  // every buffer, and wired to pool_ so large matmuls shard rows
+  // deterministically.  The collector's workers use their own
+  // thread-local tapes (never this one).
+  nn::Tape update_tape_;
+  util::ThreadPool* pool_ = nullptr;
   VecEnvCollector collector_;
   int steps_per_env_;
   HealthMonitor health_;

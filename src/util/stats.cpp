@@ -33,6 +33,14 @@ double RunningStat::ci95_halfwidth() const {
 
 double percentile(std::vector<double> samples, double p) {
   if (samples.empty()) return 0.0;
+  // Clamp p into [0, 100] (NaN-safe: !(p >= 0) also catches NaN).  An
+  // out-of-range p used to flow into the size_t cast below — negative
+  // rank is UB in the conversion and p > 100 indexed past the buffer.
+  if (!(p >= 0.0)) {
+    p = 0.0;
+  } else if (p > 100.0) {
+    p = 100.0;
+  }
   std::sort(samples.begin(), samples.end());
   if (samples.size() == 1) return samples[0];
   const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);

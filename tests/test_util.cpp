@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -182,6 +184,71 @@ TEST(Percentile, Interpolates) {
 }
 
 TEST(Percentile, EmptyIsZero) { EXPECT_EQ(percentile({}, 50.0), 0.0); }
+
+TEST(Percentile, SingleSampleForEveryP) {
+  for (const double p : {-10.0, 0.0, 13.7, 50.0, 100.0, 250.0}) {
+    EXPECT_DOUBLE_EQ(percentile({4.5}, p), 4.5) << "p = " << p;
+  }
+}
+
+TEST(Percentile, AllDuplicatesForEveryP) {
+  const std::vector<double> v{7.0, 7.0, 7.0, 7.0};
+  for (const double p : {0.0, 25.0, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile(v, p), 7.0) << "p = " << p;
+  }
+}
+
+TEST(Percentile, OutOfRangePClampsToExtremes) {
+  // p < 0 used to flow a negative rank into a size_t cast (UB) and
+  // p > 100 indexed past the sorted buffer; both now clamp.
+  const std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, -1e9), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 101.0), 9.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1e9), 9.0);
+  EXPECT_DOUBLE_EQ(percentile(v, std::nan("")), 1.0);  // NaN -> p = 0
+}
+
+TEST(Percentile, MatchesSortedVectorOracle) {
+  // Property check against the definition on the sorted samples:
+  // rank = p/100 * (n-1), linear interpolation between floor/ceil.
+  Rng rng(321);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 1 + static_cast<int>(rng.uniform_index(40));
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (double& x : v) {
+      x = rng.uniform(-100.0, 100.0);
+      if (rng.uniform(0.0, 1.0) < 0.3 && &x != v.data()) {
+        x = v.front();  // force duplicates
+      }
+    }
+    std::vector<double> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (const double p : {0.0, 10.0, 33.3, 50.0, 75.0, 90.0, 100.0}) {
+      const double rank =
+          (p / 100.0) * static_cast<double>(sorted.size() - 1);
+      const auto lo = static_cast<std::size_t>(rank);
+      const auto hi = std::min(lo + 1, sorted.size() - 1);
+      const double frac = rank - static_cast<double>(lo);
+      const double want = sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+      EXPECT_DOUBLE_EQ(percentile(v, p), want)
+          << "n = " << n << ", p = " << p;
+      // Result lies within the sample range (the interpolation
+      // x*(1-f) + x*f can round a single ulp past x, hence the slack).
+      const double slack =
+          1e-12 * std::max(std::abs(sorted.front()), std::abs(sorted.back()));
+      EXPECT_GE(percentile(v, p), sorted.front() - slack);
+      EXPECT_LE(percentile(v, p), sorted.back() + slack);
+    }
+    // Monotone in p, up to the same rounding slack.
+    double prev = percentile(v, 0.0);
+    for (double p = 5.0; p <= 100.0; p += 5.0) {
+      const double cur = percentile(v, p);
+      EXPECT_GE(cur, prev - 1e-12 * std::max(1.0, std::abs(prev)));
+      prev = cur;
+    }
+  }
+}
 
 TEST(MeanOf, Basic) {
   EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
