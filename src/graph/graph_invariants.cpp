@@ -1,5 +1,6 @@
 #include "graph/graph_invariants.hpp"
 
+#include <cmath>
 #include <string>
 
 #include "util/contract.hpp"
@@ -49,6 +50,55 @@ void check_topological_order(const DiGraph& g,
                   "edge", e, "src", ed.src, "dst", ed.dst, "src_pos",
                   position[static_cast<std::size_t>(ed.src)], "dst_pos",
                   position[static_cast<std::size_t>(ed.dst)]));
+    }
+  }
+}
+
+void check_topology(const DiGraph& g, std::string_view label) {
+  const int n = g.num_nodes();
+  std::vector<std::size_t> out_seen(static_cast<std::size_t>(n), 0);
+  std::vector<std::size_t> in_seen(static_cast<std::size_t>(n), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    if (!g.valid_node(ed.src) || !g.valid_node(ed.dst)) {
+      violate_invariant("edge endpoints are valid node ids", label,
+              util::contract::describe("edge", e, "src", ed.src, "dst",
+                                       ed.dst, "num_nodes", n));
+    }
+    if (ed.src == ed.dst) {
+      violate_invariant("no self-loops", label,
+              util::contract::describe("edge", e, "node", ed.src));
+    }
+    if (!std::isfinite(ed.capacity) || ed.capacity <= 0.0) {
+      violate_invariant("edge capacity is positive and finite", label,
+              util::contract::describe("edge", e, "capacity", ed.capacity));
+    }
+    ++out_seen[static_cast<std::size_t>(ed.src)];
+    ++in_seen[static_cast<std::size_t>(ed.dst)];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const auto outs = g.out_edges(v);
+    const auto ins = g.in_edges(v);
+    if (outs.size() != out_seen[static_cast<std::size_t>(v)] ||
+        ins.size() != in_seen[static_cast<std::size_t>(v)]) {
+      violate_invariant("adjacency index agrees with the edge list", label,
+              util::contract::describe(
+                  "node", v, "out_index", outs.size(), "out_edges",
+                  out_seen[static_cast<std::size_t>(v)], "in_index",
+                  ins.size(), "in_edges",
+                  in_seen[static_cast<std::size_t>(v)]));
+    }
+    for (const EdgeId e : outs) {
+      if (e < 0 || e >= g.num_edges() || g.edge(e).src != v) {
+        violate_invariant("out-adjacency entries name edges leaving the node",
+                label, util::contract::describe("node", v, "edge", e));
+      }
+    }
+    for (const EdgeId e : ins) {
+      if (e < 0 || e >= g.num_edges() || g.edge(e).dst != v) {
+        violate_invariant("in-adjacency entries name edges entering the node",
+                label, util::contract::describe("node", v, "edge", e));
+      }
     }
   }
 }

@@ -26,4 +26,13 @@ void check_topological_order(const DiGraph& g,
                              const std::vector<NodeId>& order,
                              std::string_view label);
 
+// Structural integrity of a topology: every edge's endpoints are valid
+// node ids, no self-loops, every capacity is positive and finite, and the
+// out/in adjacency indexes agree with the edge list exactly.  DiGraph's
+// constructors maintain all of this, so a violation means the graph
+// reached this call through memory corruption or a hand-rolled decoder —
+// the serving ingress runs it once per previously-unseen topology before
+// trusting the graph with traffic.
+void check_topology(const DiGraph& g, std::string_view label);
+
 }  // namespace gddr::graph

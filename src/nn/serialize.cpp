@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
 
@@ -11,6 +12,7 @@ namespace gddr::nn {
 namespace {
 
 constexpr char kMagic[8] = {'G', 'D', 'D', 'R', 'P', 'A', 'R', 'M'};
+constexpr char kCrcMagic[4] = {'C', 'R', 'C', 'S'};
 
 using util::IoError;
 
@@ -97,6 +99,14 @@ void ContainerWriter::write(const std::string& path) const {
     write_pod(os, static_cast<std::uint64_t>(payload.size()));
     os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   }
+  // Checksum trailer: one CRC32 per section, in on-disk order.  Readers
+  // that predate the trailer stop after the declared sections and never
+  // see it.
+  os.write(kCrcMagic, sizeof kCrcMagic);
+  write_pod(os, static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& [id, payload] : sections_) {
+    write_pod(os, util::crc32(payload));
+  }
   util::write_file_atomic(path, os.str());
 }
 
@@ -133,6 +143,37 @@ ContainerReader::ContainerReader(const std::string& path) : path_(path) {
     std::string payload(static_cast<std::size_t>(size), '\0');
     read_bytes(is, payload.data(), payload.size(), label + ".payload");
     sections_.emplace_back(static_cast<Section>(id), std::move(payload));
+  }
+
+  // Checksum trailer (optional for backward compatibility): EOF right
+  // after the last section is a legacy unchecksummed v2 file; anything
+  // else must be a complete, matching trailer.
+  char trailer_magic[4];
+  is.read(trailer_magic, sizeof trailer_magic);
+  if (is.gcount() == 0) return;  // unchecksummed v2 (pre-trailer writer)
+  if (is.gcount() != sizeof trailer_magic ||
+      std::memcmp(trailer_magic, kCrcMagic, sizeof kCrcMagic) != 0) {
+    throw IoError("corrupt checksum trailer in " + path +
+                  " (expected 'CRCS' magic after the last section)");
+  }
+  const auto crc_count = read_pod<std::uint32_t>(is, "checksum count");
+  if (crc_count != count) {
+    throw IoError("checksum trailer in " + path + " covers " +
+                  std::to_string(crc_count) + " sections, file declares " +
+                  std::to_string(count));
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto& [id, payload] = sections_[i];
+    const auto stored =
+        read_pod<std::uint32_t>(is, std::string("checksum of section '") +
+                                        to_string(id) + "'");
+    const std::uint32_t actual = util::crc32(payload);
+    if (stored != actual) {
+      throw IoError(std::string("checksum mismatch in section '") +
+                    to_string(id) + "' of " + path +
+                    " (file corrupt: stored crc32 " + std::to_string(stored) +
+                    ", payload has " + std::to_string(actual) + ")");
+    }
   }
 }
 

@@ -11,6 +11,16 @@
 //    moments, RNG streams, trainer counters, collector slots and env
 //    states as further sections (see rl/checkpoint.hpp).
 //
+// Bit-rot detection: v2 files written now end with a checksum trailer —
+// magic "CRCS", u32 count (must equal the section count), then one
+// util::crc32 per section payload in on-disk order.  The reader verifies
+// every checksum up front and names the corrupted *section* on mismatch,
+// instead of surfacing whatever parse error the flipped byte happens to
+// cause deep inside the payload.  v2 files without the trailer (written
+// before this extension) still load — a file ending exactly after its
+// last section is accepted as unchecksummed — and old readers ignore the
+// trailer because they never read past the declared sections.
+//
 // Safety properties:
 //  * writes are crash-safe (tmp + fsync + rename via
 //    util::write_file_atomic) — a crash mid-save leaves the previous

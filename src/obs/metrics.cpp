@@ -111,6 +111,12 @@ void Registry::record_span(std::string_view label, double seconds) {
   t.max_s = std::max(t.max_s, seconds);
 }
 
+std::uint64_t Registry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
 Snapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Snapshot snap;

@@ -112,6 +112,11 @@ class Registry {
   void observe(std::string_view name, double value);
   void record_span(std::string_view label, double seconds);
 
+  // Current value of one counter; 0 when it has never been incremented.
+  // Cheaper than snapshot() for tests and benches asserting on a single
+  // metric.
+  std::uint64_t counter(std::string_view name) const;
+
   Snapshot snapshot() const;
   // Drops every metric (counters restart from zero); the enabled flag is
   // untouched.

@@ -150,12 +150,16 @@ Routing routing_from_dest_flows(
   return routing;
 }
 
-Routing min_mean_utilisation_routing(const DiGraph& g) {
+std::vector<double> inverse_capacity_weights(const DiGraph& g) {
   std::vector<double> w(static_cast<size_t>(g.num_edges()));
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     w[static_cast<size_t>(e)] = 1.0 / g.edge(e).capacity;
   }
-  return shortest_path_routing(g, w);
+  return w;
+}
+
+Routing min_mean_utilisation_routing(const DiGraph& g) {
+  return shortest_path_routing(g, inverse_capacity_weights(g));
 }
 
 double mean_utilisation(const DiGraph& g, const SimulationResult& sim) {

@@ -37,6 +37,12 @@ Routing routing_from_dest_flows(
     const graph::DiGraph& g,
     const std::vector<std::vector<double>>& flow_by_dest);
 
+// Per-edge weights 1 / capacity: the classic capacity-aware static weight
+// setting.  Feeding them to softmin_routing gives a demand-oblivious
+// multipath routing that prefers fat links — the serving ladder's rung-3
+// fallback when no learned signal is trustworthy.
+std::vector<double> inverse_capacity_weights(const graph::DiGraph& g);
+
 // The routing minimising *mean* link utilisation: all-or-nothing shortest
 // paths under inverse-capacity edge weights (exact for that objective —
 // see mcf/mean_util.hpp).

@@ -186,4 +186,43 @@ bool validate(const DiGraph& g, const Routing& routing,
   return true;
 }
 
+bool validate_for_serving(const DiGraph& g, const Routing& routing,
+                          const DemandMatrix& dm, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (routing.num_nodes() != g.num_nodes() ||
+      routing.num_edges() != g.num_edges() ||
+      dm.num_nodes() != g.num_nodes()) {
+    return fail("routing/demand size does not match the graph");
+  }
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (s == t || dm.at(s, t) <= 0.0) continue;
+      const auto& ratios = routing.flow_ratios(s, t);
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        const double r = ratios[static_cast<size_t>(e)];
+        // Written to also reject NaN (every comparison with NaN is false).
+        // NaN ratios are the one corruption strict simulation cannot see:
+        // a NaN load poisons `delivered`, and the conservation comparison
+        // against NaN is silently false.
+        if (!(r >= 0.0 && r <= 1.0)) {
+          return fail("flow (" + std::to_string(s) + "," + std::to_string(t) +
+                      ") has ratio " + std::to_string(r) + " on edge " +
+                      std::to_string(e));
+        }
+      }
+      for (EdgeId e : g.out_edges(t)) {
+        if (ratios[static_cast<size_t>(e)] > 1e-9) {
+          return fail("flow (" + std::to_string(s) + "," + std::to_string(t) +
+                      ") forwards traffic out of its destination");
+        }
+      }
+    }
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
 }  // namespace gddr::routing

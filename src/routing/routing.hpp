@@ -87,4 +87,18 @@ SimulationResult simulate(const graph::DiGraph& g, const Routing& routing,
 bool validate(const graph::DiGraph& g, const Routing& routing,
               const traffic::DemandMatrix& dm, std::string* error);
 
+// Serving-path pre-simulation validator: for every flow with demand in
+// `dm`, checks destination absorption and that every ratio is finite and
+// in [0,1].  It deliberately covers only what strict simulation cannot —
+// NaN ratios evade the conservation check (NaN comparisons are false) and
+// absorption violations are invisible to the propagation sweep — while
+// loops and row-sum violations are left to simulate(strict)'s Kahn and
+// conservation checks.  The pair covers the full §IV-A contract at a
+// fraction of validate()'s cost (a plain O(flows x E) scan, no
+// reachability fixed point).  Never throws: returns false with `error`
+// describing the first violation.
+bool validate_for_serving(const graph::DiGraph& g, const Routing& routing,
+                          const traffic::DemandMatrix& dm,
+                          std::string* error);
+
 }  // namespace gddr::routing

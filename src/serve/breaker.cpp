@@ -1,0 +1,77 @@
+#include "serve/breaker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gddr::serve {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerConfig& config)
+    : config_(config), backoff_(config.initial_backoff) {
+  if (config.failure_threshold <= 0) {
+    throw std::invalid_argument("CircuitBreaker: non-positive threshold");
+  }
+  if (config.initial_backoff.count() <= 0 ||
+      config.max_backoff < config.initial_backoff ||
+      config.backoff_multiplier < 1.0) {
+    throw std::invalid_argument("CircuitBreaker: bad backoff configuration");
+  }
+}
+
+bool CircuitBreaker::allow(Clock::time_point now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now < open_until_) return false;
+      state_ = BreakerState::kHalfOpen;
+      ++stats_.probes;
+      return true;
+    case BreakerState::kHalfOpen:
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success(Clock::time_point /*now*/) {
+  if (state_ == BreakerState::kHalfOpen) ++stats_.recoveries;
+  state_ = BreakerState::kClosed;
+  stats_.consecutive_failures = 0;
+  backoff_ = config_.initial_backoff;
+}
+
+void CircuitBreaker::record_failure(Clock::time_point now) {
+  if (state_ == BreakerState::kHalfOpen) {
+    ++stats_.reopens;
+    // The probe failed: back off harder before the next one.
+    const auto grown = std::chrono::microseconds(static_cast<long long>(
+        static_cast<double>(backoff_.count()) * config_.backoff_multiplier));
+    backoff_ = std::min(grown, config_.max_backoff);
+    open(now);
+    return;
+  }
+  ++stats_.consecutive_failures;
+  if (state_ == BreakerState::kClosed &&
+      stats_.consecutive_failures >= config_.failure_threshold) {
+    ++stats_.trips;
+    open(now);
+  }
+}
+
+void CircuitBreaker::open(Clock::time_point now) {
+  state_ = BreakerState::kOpen;
+  open_until_ = now + backoff_;
+}
+
+}  // namespace gddr::serve

@@ -1,0 +1,72 @@
+// Circuit breaker gating the serving ladder's learned rung.
+//
+// A policy that is persistently failing (NaN output, repeated deadline
+// blowouts, simulation rejects) should not be paid for on every request:
+// after `failure_threshold` consecutive failures the breaker trips open
+// and the router skips straight to the fallback rungs.  While open, the
+// breaker re-admits a single probe request after an exponentially growing
+// backoff (half-open state); the probe's outcome decides between closing
+// (recovery) and re-opening with a doubled backoff.
+//
+// Time is always passed in as a steady_clock time_point so tests can
+// replay exact schedules without sleeping.  The class is deliberately not
+// thread-safe: one RobustRouter (and therefore one breaker) is owned per
+// serving worker, mirroring how RoutingEnv instances are per-worker.
+#pragma once
+
+#include <chrono>
+
+namespace gddr::serve {
+
+struct CircuitBreakerConfig {
+  // Consecutive rung-1 failures that trip the breaker open.
+  int failure_threshold = 3;
+  // Backoff before the first half-open probe; doubles (times
+  // `backoff_multiplier`) after every failed probe up to `max_backoff`.
+  std::chrono::microseconds initial_backoff{100'000};
+  std::chrono::microseconds max_backoff{5'000'000};
+  double backoff_multiplier = 2.0;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* to_string(BreakerState state);
+
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(const CircuitBreakerConfig& config);
+
+  // May this request use the guarded rung?  Closed: yes.  Open: yes once
+  // the backoff has elapsed (transitions to half-open and admits exactly
+  // one probe), otherwise no.  Half-open: no — a probe is already in
+  // flight between allow() and its record_*() verdict.
+  bool allow(Clock::time_point now);
+
+  // Verdict of a request previously admitted by allow().
+  void record_success(Clock::time_point now);
+  void record_failure(Clock::time_point now);
+
+  BreakerState state() const { return state_; }
+
+  struct Stats {
+    long trips = 0;       // closed -> open transitions
+    long probes = 0;      // half-open admissions
+    long reopens = 0;     // failed probes (half-open -> open)
+    long recoveries = 0;  // successful probes (half-open -> closed)
+    int consecutive_failures = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void open(Clock::time_point now);
+
+  CircuitBreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::chrono::microseconds backoff_;
+  Clock::time_point open_until_{};
+  Stats stats_;
+};
+
+}  // namespace gddr::serve

@@ -1,0 +1,68 @@
+// Per-request deadline budget for the serving pipeline.
+//
+// A routing decision has three costed stages — policy forward, softmin
+// translation, simulation — and one steady-clock budget T for the whole
+// request.  The budget is split by cumulative fractions: the policy stage
+// must finish by f_p * T, translation by (f_p + f_t) * T, and the full
+// decision by T.  A stage that overruns its checkpoint fails the current
+// degradation rung (serve::RobustRouter drops to a cheaper one) instead
+// of letting one slow stage consume the rungs below it.
+//
+// All checks take the current time as a parameter, so tests can drive the
+// budget with synthetic clocks and the router pays exactly one
+// steady_clock read per check (~4 per request).
+#pragma once
+
+#include <chrono>
+#include <stdexcept>
+
+namespace gddr::serve {
+
+class DeadlineBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // `policy_fraction` and `translate_fraction` must be positive and sum
+  // to < 1 (simulation gets the remainder).
+  DeadlineBudget(Clock::time_point start, std::chrono::microseconds total,
+                 double policy_fraction, double translate_fraction)
+      : start_(start), end_(start + total) {
+    if (total.count() <= 0) {
+      throw std::invalid_argument("DeadlineBudget: non-positive deadline");
+    }
+    if (policy_fraction <= 0.0 || translate_fraction <= 0.0 ||
+        policy_fraction + translate_fraction >= 1.0) {
+      throw std::invalid_argument("DeadlineBudget: bad stage fractions");
+    }
+    const auto ticks = static_cast<double>(total.count());
+    policy_deadline_ =
+        start + std::chrono::microseconds(
+                    static_cast<long long>(ticks * policy_fraction));
+    translate_deadline_ =
+        start + std::chrono::microseconds(static_cast<long long>(
+                    ticks * (policy_fraction + translate_fraction)));
+  }
+
+  bool policy_overrun(Clock::time_point now) const {
+    return now > policy_deadline_;
+  }
+  bool translate_overrun(Clock::time_point now) const {
+    return now > translate_deadline_;
+  }
+  // The whole-request deadline; past it the ladder stops trying rungs
+  // that are not already materialised.
+  bool expired(Clock::time_point now) const { return now > end_; }
+
+  Clock::time_point start() const { return start_; }
+  double elapsed_s(Clock::time_point now) const {
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  Clock::time_point start_;
+  Clock::time_point policy_deadline_;
+  Clock::time_point translate_deadline_;
+  Clock::time_point end_;
+};
+
+}  // namespace gddr::serve

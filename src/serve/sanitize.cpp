@@ -1,0 +1,62 @@
+#include "serve/sanitize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gddr::serve {
+
+traffic::DemandMatrix sanitize_demands(const traffic::DemandMatrix& in,
+                                       int num_nodes,
+                                       const SanitizeLimits& limits,
+                                       const std::vector<bool>& reachable,
+                                       SanitizeReport& report) {
+  const auto n = static_cast<std::size_t>(num_nodes);
+  if (reachable.size() != n * n) {
+    throw std::invalid_argument("sanitize_demands: reachable size mismatch");
+  }
+  report = SanitizeReport{};
+  if (in.num_nodes() != num_nodes) {
+    // A matrix for the wrong topology carries no usable signal; routing
+    // zero traffic is the only honest repair.
+    report.size_mismatch = true;
+    return traffic::DemandMatrix(num_nodes);
+  }
+  std::vector<double> data = in.raw();
+  for (int s = 0; s < num_nodes; ++s) {
+    for (int t = 0; t < num_nodes; ++t) {
+      double& d = data[static_cast<std::size_t>(s) * n +
+                       static_cast<std::size_t>(t)];
+      if (s == t) {
+        if (d != 0.0) {
+          ++report.diagonal_entries;
+          d = 0.0;
+        }
+        continue;
+      }
+      if (!std::isfinite(d)) {
+        ++report.non_finite_entries;
+        d = 0.0;
+        continue;
+      }
+      if (d < 0.0) {
+        ++report.negative_entries;
+        d = 0.0;
+        continue;
+      }
+      if (limits.max_demand > 0.0 && d > limits.max_demand) {
+        ++report.clamped_entries;
+        d = limits.max_demand;
+      }
+      if (d > 0.0 && !reachable[static_cast<std::size_t>(s) * n +
+                                static_cast<std::size_t>(t)]) {
+        ++report.unroutable_entries;
+        report.unroutable_demand += d;
+        d = 0.0;
+      }
+    }
+  }
+  return traffic::DemandMatrix::from_raw_unchecked(num_nodes,
+                                                   std::move(data));
+}
+
+}  // namespace gddr::serve

@@ -1,0 +1,59 @@
+// Inbound-request sanitisation for the serving pipeline.
+//
+// A serving system takes demand matrices from the outside world, which
+// means NaNs from broken collectors, negative rates from integer
+// underflow upstream, self-demand, absurd magnitudes, and pairs the
+// current topology simply cannot route (partitions after link failures).
+// None of those may reach the routing pipeline: the simulator's strict
+// conservation contract treats them as internal bugs and throws.
+//
+// sanitize_demands repairs an untrusted matrix into one every rung of the
+// degradation ladder can route, and reports exactly what it changed so
+// the decision record (and the serve/sanitize/* metrics) show the request
+// was degraded at the door rather than silently rewritten.
+#pragma once
+
+#include <vector>
+
+#include "traffic/demand.hpp"
+
+namespace gddr::serve {
+
+struct SanitizeLimits {
+  // Entries above this are clamped to it (0 disables the clamp).  The
+  // default is deliberately huge — it exists to stop 1e308-style garbage
+  // from overflowing link loads, not to police real traffic.
+  double max_demand = 1e12;
+};
+
+struct SanitizeReport {
+  // The inbound matrix's size did not match the topology; the whole
+  // matrix was replaced by zeros (nothing else is meaningful).
+  bool size_mismatch = false;
+  long non_finite_entries = 0;  // NaN / +-inf, zeroed
+  long negative_entries = 0;    // < 0, zeroed
+  long diagonal_entries = 0;    // self-demand, zeroed
+  long clamped_entries = 0;     // > max_demand, clamped
+  long unroutable_entries = 0;  // t unreachable from s, zeroed
+  double unroutable_demand = 0.0;  // volume dropped as unroutable
+
+  bool clean() const {
+    return !size_mismatch && non_finite_entries == 0 &&
+           negative_entries == 0 && diagonal_entries == 0 &&
+           clamped_entries == 0 && unroutable_entries == 0;
+  }
+};
+
+// Returns a matrix of `num_nodes` nodes that is finite, non-negative,
+// zero on the diagonal, clamped to limits.max_demand and zero on every
+// source-destination pair the topology cannot connect.  `reachable` is
+// the row-major num_nodes^2 pair-reachability table from the topology
+// cache (reachable[s * n + t] == t is reachable from s).  Every repair is
+// counted in `report`.
+traffic::DemandMatrix sanitize_demands(const traffic::DemandMatrix& in,
+                                       int num_nodes,
+                                       const SanitizeLimits& limits,
+                                       const std::vector<bool>& reachable,
+                                       SanitizeReport& report);
+
+}  // namespace gddr::serve

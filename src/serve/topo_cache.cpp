@@ -1,0 +1,81 @@
+#include "serve/topo_cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph_invariants.hpp"
+#include "mcf/cache.hpp"
+#include "obs/metrics.hpp"
+#include "routing/baselines.hpp"
+
+namespace gddr::serve {
+
+TopologyCache::TopologyCache(std::size_t capacity,
+                             routing::SoftminOptions softmin,
+                             double node_feature_scale,
+                             double flat_feature_scale)
+    : capacity_(capacity),
+      softmin_(softmin),
+      node_feature_scale_(node_feature_scale),
+      flat_feature_scale_(flat_feature_scale) {
+  if (capacity == 0) {
+    throw std::invalid_argument("TopologyCache: zero capacity");
+  }
+  if (node_feature_scale <= 0.0 || flat_feature_scale <= 0.0) {
+    throw std::invalid_argument("TopologyCache: non-positive feature scale");
+  }
+}
+
+TopologyEntry& TopologyCache::acquire(const graph::DiGraph& g) {
+  const std::uint64_t key = mcf::graph_fingerprint(g);
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    ++hits_;
+    recency_.splice(recency_.begin(), recency_, it->second.recency);
+    return it->second.entry;
+  }
+  ++misses_;
+  obs::count("serve/topo_cache/miss");
+
+  // Trust boundary: a topology is validated exactly once, before any
+  // routing artifact is derived from it.
+  graph::check_topology(g, "serve/topo_cache/ingress");
+
+  TopologyEntry entry;
+  entry.fingerprint = key;
+  const int n = g.num_nodes();
+  const auto hop_weights = graph::unit_weights(g);
+  entry.reachable.assign(static_cast<std::size_t>(n) *
+                             static_cast<std::size_t>(n),
+                         false);
+  for (graph::NodeId t = 0; t < n; ++t) {
+    const auto sp = graph::dijkstra_to(g, t, hop_weights);
+    for (graph::NodeId s = 0; s < n; ++s) {
+      const bool ok =
+          s == t ||
+          sp.parent_edge[static_cast<std::size_t>(s)] != graph::kInvalidEdge;
+      entry.reachable[static_cast<std::size_t>(s) *
+                          static_cast<std::size_t>(n) +
+                      static_cast<std::size_t>(t)] = ok;
+    }
+  }
+  entry.shortest_path = routing::shortest_path_routing(g, hop_weights);
+  entry.inverse_capacity = routing::softmin_routing(
+      g, routing::inverse_capacity_weights(g), softmin_);
+  entry.obs_scenario.graph = g;
+  entry.obs_scenario.node_feature_scale = node_feature_scale_;
+  entry.obs_scenario.flat_feature_scale = flat_feature_scale_;
+
+  if (entries_.size() >= capacity_) {
+    const std::uint64_t victim = recency_.back();
+    recency_.pop_back();
+    entries_.erase(victim);
+    obs::count("serve/topo_cache/evict");
+  }
+  recency_.push_front(key);
+  auto [it, inserted] = entries_.emplace(
+      key, Slot{std::move(entry), recency_.begin()});
+  return it->second.entry;
+}
+
+}  // namespace gddr::serve

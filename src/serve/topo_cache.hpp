@@ -1,0 +1,86 @@
+// Bounded per-topology state for the serving ladder.
+//
+// Every fallback rung below the learned policy needs topology-derived
+// artifacts: the pair-reachability table the sanitiser consults, the
+// inverse-capacity softmin routing (rung 3), the hop-count shortest-path
+// routing (rung 4), the last-known-good learned routing (rung 2) and the
+// normalisation scenario observations are built against.  All of these
+// depend only on the topology, so they are computed once per distinct
+// graph — keyed by mcf::graph_fingerprint — and reused until LRU
+// eviction, exactly the discipline mcf::OptimalCache applies to LP
+// solutions.
+//
+// A cache miss is also the trust boundary: graph::check_topology runs on
+// the unseen graph before anything else touches it, so a corrupt
+// topology is rejected at ingress instead of corrupting routing state.
+//
+// Not thread-safe by design: one RobustRouter owns one cache (serving
+// workers are share-nothing, like RoutingEnv instances).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "graph/digraph.hpp"
+#include "routing/routing.hpp"
+#include "routing/softmin.hpp"
+
+namespace gddr::serve {
+
+struct TopologyEntry {
+  std::uint64_t fingerprint = 0;
+  // Row-major num_nodes^2 table: reachable[s * n + t] == some s->t path
+  // exists.  Diagonal entries are true.
+  std::vector<bool> reachable;
+  // Rung 3: demand-oblivious multipath over inverse-capacity weights.
+  routing::Routing inverse_capacity;
+  // Rung 4: hop-count shortest paths — the cheapest thing that is still a
+  // valid routing.
+  routing::Routing shortest_path;
+  // Rung 2: the most recent successfully served learned routing.
+  bool has_last_good = false;
+  routing::Routing last_good;
+  long successes_since_refresh = 0;
+  // Graph copy plus feature scales, in the shape
+  // core::RoutingEnv::build_observation consumes.
+  core::Scenario obs_scenario;
+};
+
+class TopologyCache {
+ public:
+  // `node_feature_scale` / `flat_feature_scale` must match the scales the
+  // served policy was trained with (they normalise observation features).
+  TopologyCache(std::size_t capacity, routing::SoftminOptions softmin,
+                double node_feature_scale, double flat_feature_scale);
+
+  // Returns the entry for `g`, building it on first sight (runs
+  // graph::check_topology, which throws util::ContractViolation on a
+  // corrupt graph; nothing is cached in that case).  The reference stays
+  // valid until `capacity` further distinct topologies are acquired.
+  TopologyEntry& acquire(const graph::DiGraph& g);
+
+  std::size_t size() const { return entries_.size(); }
+  long hits() const { return hits_; }
+  long misses() const { return misses_; }
+
+ private:
+  std::size_t capacity_;
+  routing::SoftminOptions softmin_;
+  double node_feature_scale_;
+  double flat_feature_scale_;
+
+  struct Slot {
+    TopologyEntry entry;
+    std::list<std::uint64_t>::iterator recency;
+  };
+  std::map<std::uint64_t, Slot> entries_;
+  std::list<std::uint64_t> recency_;  // most recent at front
+  long hits_ = 0;
+  long misses_ = 0;
+};
+
+}  // namespace gddr::serve

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace gddr::topo {
 
 using graph::DiGraph;
@@ -40,15 +42,15 @@ void save_topology(std::ostream& os, const DiGraph& g) {
 
 void save_topology_file(const std::string& path, const DiGraph& g) {
   std::ofstream os(path, std::ios::trunc);
-  if (!os) throw std::runtime_error("save_topology_file: cannot open " + path);
+  if (!os) throw util::IoError("save_topology_file: cannot open " + path);
   save_topology(os, g);
-  if (!os) throw std::runtime_error("save_topology_file: write failed");
+  if (!os) throw util::IoError("save_topology_file: write failed");
 }
 
 namespace {
 
 [[noreturn]] void fail(int line, const std::string& message) {
-  throw std::runtime_error("load_topology: line " + std::to_string(line) +
+  throw util::IoError("load_topology: line " + std::to_string(line) +
                            ": " + message);
 }
 
@@ -125,7 +127,7 @@ DiGraph load_topology(std::istream& is) {
 
 DiGraph load_topology_file(const std::string& path) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("load_topology_file: cannot open " + path);
+  if (!is) throw util::IoError("load_topology_file: cannot open " + path);
   return load_topology(is);
 }
 

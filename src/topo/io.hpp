@@ -27,8 +27,9 @@ namespace gddr::topo {
 void save_topology(std::ostream& os, const graph::DiGraph& g);
 void save_topology_file(const std::string& path, const graph::DiGraph& g);
 
-// Parses the format above.  Throws std::runtime_error with a line number
-// on malformed input.
+// Parses the format above.  Throws util::IoError with a line number on
+// malformed input (as do the writers on filesystem failure), so CLI
+// callers map bad topology files to the I/O exit code.
 graph::DiGraph load_topology(std::istream& is);
 graph::DiGraph load_topology_file(const std::string& path);
 

@@ -22,6 +22,21 @@ void DemandMatrix::set(int s, int t, double demand) {
         static_cast<size_t>(t)] = demand;
 }
 
+DemandMatrix DemandMatrix::from_raw_unchecked(int num_nodes,
+                                              std::vector<double> data) {
+  if (num_nodes < 0) throw std::invalid_argument("negative node count");
+  const auto expected =
+      static_cast<size_t>(num_nodes) * static_cast<size_t>(num_nodes);
+  if (data.size() != expected) {
+    throw std::invalid_argument(
+        "DemandMatrix::from_raw_unchecked: buffer size mismatch");
+  }
+  DemandMatrix out;
+  out.n_ = num_nodes;
+  out.data_ = std::move(data);
+  return out;
+}
+
 double DemandMatrix::out_sum(int s) const {
   double sum = 0.0;
   for (int t = 0; t < n_; ++t) sum += at(s, t);

@@ -22,6 +22,14 @@ class DemandMatrix {
   // and throws.
   void set(int s, int t, double demand);
 
+  // Wraps an untrusted row-major buffer (size n*n) verbatim — entries may
+  // be negative, non-finite or on the diagonal.  The serving ingress uses
+  // this to hold an inbound matrix exactly as received so that
+  // serve::sanitize_demands can inspect and repair it; everything past the
+  // sanitiser must come from set() or from_raw_unchecked(sanitised data).
+  static DemandMatrix from_raw_unchecked(int num_nodes,
+                                         std::vector<double> data);
+
   // Row sum: total demand originating at s (paper Eq. 4 first component).
   double out_sum(int s) const;
   // Column sum: total demand destined to t (paper Eq. 4 second component).

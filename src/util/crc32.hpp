@@ -1,0 +1,24 @@
+// CRC32 (IEEE 802.3, polynomial 0xEDB88320, reflected) for bit-rot
+// detection in on-disk artefacts.  The checkpoint container appends one
+// CRC per section so a loader can name the corrupted section instead of
+// failing with an unrelated parse error deep inside it (see
+// nn/serialize.hpp).  Not a cryptographic hash — it detects accidental
+// corruption, not tampering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gddr::util {
+
+// CRC32 of `size` bytes at `data`.  `seed` chains incremental updates:
+// crc32(ab) == crc32(b, crc32(a)).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0) {
+  return crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace gddr::util

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace gddr::util {
 namespace {
 
@@ -11,18 +13,22 @@ constexpr const char* kSiteNames[] = {
     "ckpt_write",
     "nan_grad",
     "train_abort",
+    "policy_nan",
+    "policy_slow",
+    "topo_change",
+    "request_garbage",
 };
 static_assert(sizeof(kSiteNames) / sizeof(kSiteNames[0]) ==
               static_cast<std::size_t>(FaultSite::kSiteCount));
 
 int site_index(FaultSite site) { return static_cast<int>(site); }
 
-FaultSite site_from_name(const std::string& name) {
+FaultSite site_from_name(const std::string& name, const std::string& entry) {
   for (int i = 0; i < static_cast<int>(FaultSite::kSiteCount); ++i) {
     if (name == kSiteNames[i]) return static_cast<FaultSite>(i);
   }
-  throw std::invalid_argument("FaultInjector: unknown fault site '" + name +
-                              "'");
+  throw IoError("FaultInjector: unknown fault site '" + name +
+                "' in entry '" + entry + "'");
 }
 
 long parse_long(const std::string& text, const std::string& entry) {
@@ -34,8 +40,8 @@ long parse_long(const std::string& text, const std::string& entry) {
     used = 0;
   }
   if (used != text.size() || value <= 0) {
-    throw std::invalid_argument("FaultInjector: bad count/seed in entry '" +
-                                entry + "'");
+    throw IoError("FaultInjector: bad count/seed token '" + text +
+                  "' in entry '" + entry + "'");
   }
   return value;
 }
@@ -61,7 +67,11 @@ void FaultInjector::arm(const std::string& spec) {
     if (comma == std::string::npos) comma = spec.size();
     const std::string entry = spec.substr(pos, comma - pos);
     pos = comma + 1;
-    if (entry.empty()) continue;
+    if (entry.empty()) {
+      // An empty clause ("a@1,,b@2", trailing/leading comma) is a typo that
+      // would otherwise silently arm less than the operator asked for.
+      throw IoError("FaultInjector: empty clause in spec '" + spec + "'");
+    }
 
     Schedule schedule;
     std::string site_name;
@@ -81,31 +91,31 @@ void FaultInjector::arm(const std::string& spec) {
       const std::string rest = entry.substr(tilde + 1);
       const std::size_t slash = rest.find('/');
       if (slash == std::string::npos) {
-        throw std::invalid_argument(
+        throw IoError(
             "FaultInjector: probabilistic entry needs an explicit seed "
             "('site~p/seed'): '" +
             entry + "'");
       }
       schedule.mode = Mode::kProbability;
+      const std::string prob = rest.substr(0, slash);
+      std::size_t used = 0;
       try {
-        schedule.p = std::stod(rest.substr(0, slash));
+        schedule.p = std::stod(prob, &used);
       } catch (const std::exception&) {
-        schedule.p = -1.0;
+        used = 0;
       }
-      if (schedule.p < 0.0 || schedule.p > 1.0) {
-        throw std::invalid_argument(
-            "FaultInjector: probability outside [0,1] in entry '" + entry +
-            "'");
+      if (used != prob.size() || schedule.p < 0.0 || schedule.p > 1.0) {
+        throw IoError("FaultInjector: bad probability token '" + prob +
+                      "' (need [0,1]) in entry '" + entry + "'");
       }
       schedule.rng = Rng(static_cast<std::uint64_t>(
           parse_long(rest.substr(slash + 1), entry)));
     } else {
-      throw std::invalid_argument(
-          "FaultInjector: entry needs '@n', '@n+' or '~p/seed': '" + entry +
-          "'");
+      throw IoError("FaultInjector: entry needs '@n', '@n+' or '~p/seed': '" +
+                    entry + "'");
     }
 
-    const FaultSite site = site_from_name(site_name);
+    const FaultSite site = site_from_name(site_name, entry);
     parsed[site_index(site)] = schedule;
     any = true;
   }

@@ -23,8 +23,14 @@
 //            | site '@' N '+'    fire on every hit from the Nth onward
 //            | site '~' P '/' S  fire each hit with probability P, seeded S
 //   site    := lp_solve | ckpt_write | nan_grad | train_abort
+//            | policy_nan | policy_slow | topo_change | request_garbage
 // Example: GDDR_FAULTS="lp_solve@3,nan_grad@2+" fails the 3rd LP solve
 // and every gradient computation from the 2nd onward.
+//
+// A malformed spec — unknown site, bad '@N'/'~P/S' token, empty clause —
+// is a hard util::IoError naming the offending token: a fault schedule
+// that silently fails to arm would make an operator believe a recovery
+// path was rehearsed when it never ran.  The empty spec "" still disarms.
 #pragma once
 
 #include <atomic>
@@ -41,6 +47,10 @@ enum class FaultSite : int {
   kCheckpointWrite,   // util::write_file_atomic I/O failure
   kNanGradient,       // rl::PpoTrainer gradient poisoning
   kTrainAbort,        // core::Experiment crash between iterations
+  kPolicyNan,         // serve::RobustRouter NaN policy output
+  kPolicySlow,        // serve::RobustRouter policy stage deadline blowout
+  kTopoChange,        // serve::RobustRouter mid-request topology change
+  kRequestGarbage,    // serve::RobustRouter garbage inbound demand matrix
   kSiteCount,
 };
 
@@ -53,7 +63,8 @@ class FaultInjector {
 
   // Parses and arms `spec` (see grammar above), replacing any previous
   // schedule and resetting all counters.  An empty spec disarms.  Throws
-  // std::invalid_argument on a malformed spec.
+  // util::IoError naming the offending token on a malformed spec; the
+  // previously armed schedule is left untouched.
   void arm(const std::string& spec);
 
   // Arms from the GDDR_FAULTS environment variable (no-op when unset).

@@ -1,0 +1,90 @@
+// End-to-end CLI exit-code contract (ISSUE satellite: the exit-code map
+// is part of the serving interface).  Each test invokes the real gddr_cli
+// binary — CMake injects its location as GDDR_CLI_PATH — through
+// std::system and asserts on the documented codes:
+//
+//   0 ok, 2 usage, 4 I/O failure, 5 serve deadline exhausted,
+//   6 serve unroutable entries (5 takes precedence over 6).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
+
+namespace gddr {
+namespace {
+
+// Exit status of a shell command, with output discarded.
+int run_cli(const std::string& args) {
+  const std::string command =
+      std::string(GDDR_CLI_PATH) + " " + args + " >/dev/null 2>&1";
+  const int raw = std::system(command.c_str());
+#ifndef _WIN32
+  if (!WIFEXITED(raw)) return -1;
+  return WEXITSTATUS(raw);
+#else
+  return raw;
+#endif
+}
+
+TEST(CliExitCodes, NoArgumentsIsUsage) { EXPECT_EQ(run_cli(""), 2); }
+
+TEST(CliExitCodes, UnknownCommandIsUsage) {
+  EXPECT_EQ(run_cli("frobnicate Abilene"), 2);
+}
+
+TEST(CliExitCodes, UsageTextDocumentsTheExitCodeMap) {
+  const std::string command = std::string(GDDR_CLI_PATH) +
+                              " 2>&1 | grep -q 'deadline exhausted'";
+  const int raw = std::system(command.c_str());
+#ifndef _WIN32
+  ASSERT_TRUE(WIFEXITED(raw));
+  EXPECT_EQ(WEXITSTATUS(raw), 0);
+#endif
+}
+
+TEST(CliExitCodes, CleanServeSimExitsZero) {
+  EXPECT_EQ(run_cli("serve-sim Abilene 6 --deadline-us 30000000"), 0);
+}
+
+TEST(CliExitCodes, UnroutableEntriesExitSix) {
+  // Isolating node 0 from request 1 onward makes every (0, t) demand
+  // unroutable; the router drops those entries and the CLI reports it.
+  EXPECT_EQ(run_cli("serve-sim Abilene 6 --deadline-us 30000000 "
+                    "--fail-at 1 --isolate 0"),
+            6);
+}
+
+TEST(CliExitCodes, ExhaustedDeadlineExitsFive) {
+  // 30 us cannot cover a policy forward, so every request degrades with
+  // the budget already spent.
+  EXPECT_EQ(run_cli("serve-sim Abilene 6 --deadline-us 30"), 5);
+}
+
+TEST(CliExitCodes, MissingPolicyFileExitsFour) {
+  EXPECT_EQ(run_cli("serve-sim Abilene 2 --policy /nonexistent/params.bin"),
+            4);
+}
+
+TEST(CliExitCodes, MissingTopologyFileExitsFour) {
+  EXPECT_EQ(run_cli("serve-sim /nonexistent/topology.txt 2"), 4);
+}
+
+TEST(CliExitCodes, MalformedFaultSpecExitsFour) {
+  const std::string command =
+      std::string("GDDR_FAULTS=bogus_site@1 ") + GDDR_CLI_PATH +
+      " serve-sim Abilene 2 >/dev/null 2>&1";
+  const int raw = std::system(command.c_str());
+#ifndef _WIN32
+  ASSERT_TRUE(WIFEXITED(raw));
+  EXPECT_EQ(WEXITSTATUS(raw), 4);
+#else
+  EXPECT_EQ(raw, 4);
+#endif
+}
+
+}  // namespace
+}  // namespace gddr

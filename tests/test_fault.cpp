@@ -107,11 +107,79 @@ TEST(FaultInjector, MalformedSpecRejectedAtomically) {
   FaultGuard guard;
   auto& injector = FaultInjector::instance();
   injector.arm("lp_solve@1");
-  EXPECT_THROW(injector.arm("lp_solve@notanumber"), std::invalid_argument);
-  EXPECT_THROW(injector.arm("unknown_site@1"), std::invalid_argument);
+  // Malformed specs are an I/O-layer failure (the spec arrives from the
+  // GDDR_FAULTS environment), so they surface as util::IoError and the
+  // CLI maps them to the I/O exit code.
+  EXPECT_THROW(injector.arm("lp_solve@notanumber"), util::IoError);
+  EXPECT_THROW(injector.arm("unknown_site@1"), util::IoError);
   // The previous valid schedule survives a failed arm.
   EXPECT_TRUE(injector.enabled());
   EXPECT_TRUE(util::inject(FaultSite::kLpSolve));
+}
+
+// Runs arm(spec), requires an IoError and returns its message.
+std::string arm_error(const std::string& spec) {
+  try {
+    FaultInjector::instance().arm(spec);
+  } catch (const util::IoError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "arm(\"" << spec << "\") did not throw util::IoError";
+  return {};
+}
+
+TEST(FaultInjector, MalformedSpecErrorsNameTheOffendingToken) {
+  FaultGuard guard;
+
+  // Unknown site name.
+  std::string msg = arm_error("bogus_site@3");
+  EXPECT_NE(msg.find("unknown fault site"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'bogus_site'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("bogus_site@3"), std::string::npos) << msg;
+
+  // Non-numeric count after '@'.
+  msg = arm_error("lp_solve@abc");
+  EXPECT_NE(msg.find("bad count/seed token 'abc'"), std::string::npos) << msg;
+
+  // Missing '@n' / '~p/seed' entirely.
+  msg = arm_error("lp_solve");
+  EXPECT_NE(msg.find("entry needs '@n', '@n+' or '~p/seed'"),
+            std::string::npos)
+      << msg;
+
+  // Probabilistic entry without an explicit seed.
+  msg = arm_error("lp_solve~0.5");
+  EXPECT_NE(msg.find("needs an explicit seed"), std::string::npos) << msg;
+
+  // Probability with trailing garbage (stod would accept the prefix).
+  msg = arm_error("lp_solve~0.5abc/7");
+  EXPECT_NE(msg.find("bad probability token '0.5abc'"), std::string::npos)
+      << msg;
+
+  // Probability outside [0, 1].
+  msg = arm_error("lp_solve~1.5/7");
+  EXPECT_NE(msg.find("bad probability token '1.5'"), std::string::npos) << msg;
+
+  // Empty clause from a stray comma.
+  msg = arm_error("lp_solve@1,,ckpt_write@2");
+  EXPECT_NE(msg.find("empty clause"), std::string::npos) << msg;
+
+  // A failed arm never leaves a partial schedule armed.
+  EXPECT_FALSE(FaultInjector::instance().enabled());
+}
+
+TEST(FaultInjector, ServingSitesParseAndFire) {
+  FaultGuard guard;
+  auto& injector = FaultInjector::instance();
+  injector.arm("policy_nan@1,policy_slow@2,topo_change@1,request_garbage@1+");
+  EXPECT_TRUE(util::inject(FaultSite::kPolicyNan));
+  EXPECT_FALSE(util::inject(FaultSite::kPolicyNan));
+  EXPECT_FALSE(util::inject(FaultSite::kPolicySlow));
+  EXPECT_TRUE(util::inject(FaultSite::kPolicySlow));
+  EXPECT_TRUE(util::inject(FaultSite::kTopoChange));
+  // '@1+' fires from the first occurrence onwards.
+  EXPECT_TRUE(util::inject(FaultSite::kRequestGarbage));
+  EXPECT_TRUE(util::inject(FaultSite::kRequestGarbage));
 }
 
 // ---------------- crash-safe writes ----------------

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <iterator>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/gaussian.hpp"
@@ -916,6 +920,198 @@ TEST(SerializeRobust, SaveLeavesNoTempFileBehind) {
   save_parameters(path, src.parameters());
   EXPECT_TRUE(std::filesystem::exists(path));
   EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+// ---------------- checksum trailer (bit-rot detection) ----------------
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is),
+          std::istreambuf_iterator<char>()};
+}
+
+void dump_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Byte offset of each section's payload in a v2 container, on-disk order.
+// Header: 8-byte magic, u32 version, u32 count; per section u32 id,
+// u64 payload size, payload.
+std::vector<std::pair<std::size_t, std::size_t>> section_payload_ranges(
+    const std::string& bytes) {
+  std::size_t off = 8;
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + off, sizeof version);
+  off += sizeof version;
+  EXPECT_EQ(version, kFormatVersionSectioned);
+  std::uint32_t count = 0;
+  std::memcpy(&count, bytes.data() + off, sizeof count);
+  off += sizeof count;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    off += sizeof(std::uint32_t);  // section id
+    std::uint64_t size = 0;
+    std::memcpy(&size, bytes.data() + off, sizeof size);
+    off += sizeof size;
+    ranges.emplace_back(off, static_cast<std::size_t>(size));
+    off += static_cast<std::size_t>(size);
+  }
+  return ranges;
+}
+
+TEST(ChecksumTrailer, BitFlipInEachSectionNamesThatSection) {
+  util::Rng rng(41);
+  MlpConfig cfg;
+  cfg.hidden = {8};
+  Mlp src(4, 2, cfg, rng);
+
+  // A multi-section container, like a trainer checkpoint.
+  const std::string path = serialize_path("gddr_crc_sections.bin");
+  ContainerWriter writer;
+  writer.add(Section::kParameters, parameters_payload(src.parameters()));
+  writer.add(Section::kAdam, std::string("adam moments placeholder blob"));
+  writer.add(Section::kTrainer, std::string("trainer counters blob"));
+  writer.write(path);
+
+  const std::string pristine = slurp_file(path);
+  const auto ranges = section_payload_ranges(pristine);
+  ASSERT_EQ(ranges.size(), 3U);
+  const char* names[] = {"parameters", "adam", "trainer"};
+
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    std::string corrupted = pristine;
+    const auto [offset, size] = ranges[i];
+    ASSERT_GT(size, 0U);
+    corrupted[offset + size / 2] ^= 0x01;  // single bit flip mid-payload
+    dump_file(path, corrupted);
+    try {
+      ContainerReader reader(path);
+      FAIL() << "bit flip in section '" << names[i] << "' went undetected";
+    } catch (const util::IoError& ex) {
+      const std::string what = ex.what();
+      EXPECT_NE(what.find("checksum mismatch"), std::string::npos) << what;
+      EXPECT_NE(what.find(std::string("'") + names[i] + "'"),
+                std::string::npos)
+          << what;
+    }
+  }
+
+  // The pristine file still reads cleanly afterwards.
+  dump_file(path, pristine);
+  ContainerReader reader(path);
+  EXPECT_TRUE(reader.has(Section::kAdam));
+  std::remove(path.c_str());
+}
+
+TEST(ChecksumTrailer, BitFlipInParameterFileNeverHalfLoads) {
+  util::Rng rng(42);
+  MlpConfig cfg;
+  cfg.hidden = {8};
+  Mlp src(4, 2, cfg, rng);
+  const std::string path = serialize_path("gddr_crc_params.bin");
+  save_parameters(path, src.parameters());
+
+  std::string corrupted = slurp_file(path);
+  const auto ranges = section_payload_ranges(corrupted);
+  ASSERT_EQ(ranges.size(), 1U);
+  corrupted[ranges[0].first + ranges[0].second / 2] ^= 0x40;
+  dump_file(path, corrupted);
+
+  Mlp dst(4, 2, cfg, rng);
+  const auto params = dst.parameters();
+  const auto before = snapshot_values(params);
+  try {
+    load_parameters(path, params);
+    FAIL() << "expected util::IoError for a corrupted parameter payload";
+  } catch (const util::IoError& ex) {
+    EXPECT_NE(std::string(ex.what()).find("checksum mismatch"),
+              std::string::npos)
+        << ex.what();
+  }
+  expect_values_unchanged(params, before);
+  std::remove(path.c_str());
+}
+
+TEST(ChecksumTrailer, LegacyV2WithoutTrailerStillLoads) {
+  util::Rng rng(43);
+  MlpConfig cfg;
+  cfg.hidden = {8};
+  Mlp src(4, 2, cfg, rng);
+  const std::string path = serialize_path("gddr_crc_legacy.bin");
+  save_parameters(path, src.parameters());
+
+  // Strip the trailer ("CRCS" + u32 count + one u32 per section), leaving
+  // a pre-trailer v2 file that ends exactly after its last section.
+  const std::string bytes = slurp_file(path);
+  const auto ranges = section_payload_ranges(bytes);
+  const std::size_t trailer_bytes =
+      4 + sizeof(std::uint32_t) + ranges.size() * sizeof(std::uint32_t);
+  dump_file(path, bytes.substr(0, bytes.size() - trailer_bytes));
+
+  Mlp dst(4, 2, cfg, rng);
+  load_parameters(path, dst.parameters());
+  const auto a = src.parameters();
+  const auto b = dst.parameters();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto av = a[i]->value.data();
+    const auto bv = b[i]->value.data();
+    ASSERT_EQ(av.size(), bv.size());
+    for (std::size_t k = 0; k < av.size(); ++k) EXPECT_EQ(av[k], bv[k]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ChecksumTrailer, CorruptTrailerMetadataIsRejected) {
+  util::Rng rng(44);
+  MlpConfig cfg;
+  cfg.hidden = {8};
+  Mlp src(4, 2, cfg, rng);
+  const std::string path = serialize_path("gddr_crc_trailer.bin");
+  save_parameters(path, src.parameters());
+  const std::string pristine = slurp_file(path);
+  const std::size_t crc_list_bytes = 1 * sizeof(std::uint32_t);
+
+  // Damaged trailer magic.
+  std::string bad_magic = pristine;
+  bad_magic[pristine.size() - crc_list_bytes - sizeof(std::uint32_t) - 4] ^=
+      0x20;  // first byte of "CRCS"
+  dump_file(path, bad_magic);
+  try {
+    ContainerReader reader(path);
+    FAIL() << "expected util::IoError for a damaged trailer magic";
+  } catch (const util::IoError& ex) {
+    EXPECT_NE(std::string(ex.what()).find("corrupt checksum trailer"),
+              std::string::npos)
+        << ex.what();
+  }
+
+  // Trailer count disagreeing with the declared section count.
+  std::string bad_count = pristine;
+  bad_count[pristine.size() - crc_list_bytes - sizeof(std::uint32_t)] ^= 0x01;
+  dump_file(path, bad_count);
+  try {
+    ContainerReader reader(path);
+    FAIL() << "expected util::IoError for a trailer count mismatch";
+  } catch (const util::IoError& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find("covers"), std::string::npos) << what;
+  }
+
+  // A flipped stored-CRC byte is indistinguishable from payload rot and
+  // must be reported the same way.
+  std::string bad_crc = pristine;
+  bad_crc[pristine.size() - 1] ^= 0x01;
+  dump_file(path, bad_crc);
+  try {
+    ContainerReader reader(path);
+    FAIL() << "expected util::IoError for a flipped stored checksum";
+  } catch (const util::IoError& ex) {
+    EXPECT_NE(std::string(ex.what()).find("checksum mismatch"),
+              std::string::npos)
+        << ex.what();
+  }
   std::remove(path.c_str());
 }
 

@@ -733,5 +733,174 @@ TEST(SoftminRouting, FastAndGenericSimulateIdenticallyOnDisconnectedDiamonds) {
   }
 }
 
+// ---------------- degraded (disconnected) topologies ----------------
+//
+// Serving keeps translating routings while links and nodes fail, so the
+// softmin translation must stay well-formed on graphs where some pairs
+// have become unreachable: survivors keep row-stochastic splits, severed
+// pairs get all-zero ratios instead of garbage.
+
+// Sum of flow (s,t)'s ratios over v's out-edges.
+double out_ratio_sum(const DiGraph& g, const Routing& r, int s, int t,
+                     NodeId v) {
+  double sum = 0.0;
+  for (EdgeId e : g.out_edges(v)) sum += r.ratio(s, t, e);
+  return sum;
+}
+
+TEST(DegradedTopology, EdgeRemovalZeroesSeveredPairsOnly) {
+  // Line 0 -> 1 -> 2 plus a detour 0 -> 2: removing edge 1->2 severs only
+  // (1, 2); (0, 2) survives through the detour.
+  DiGraph g(3);
+  g.add_edge(0, 1, 10.0);                      // e0
+  const EdgeId cut = g.add_edge(1, 2, 10.0);   // e1
+  g.add_edge(0, 2, 10.0);                      // e2
+  const DiGraph degraded = g.without_edge(cut);
+
+  const std::vector<double> w(static_cast<std::size_t>(degraded.num_edges()),
+                              1.0);
+  const Routing r = softmin_routing(degraded, w);
+
+  // Survivor (0, 2): row-stochastic at the source.
+  EXPECT_NEAR(out_ratio_sum(degraded, r, 0, 2, 0), 1.0, 1e-12);
+  // Severed (1, 2): every ratio exactly zero.
+  for (EdgeId e = 0; e < degraded.num_edges(); ++e) {
+    EXPECT_EQ(r.ratio(1, 2, e), 0.0) << "edge " << e;
+  }
+  // The severed pair must not break simulation of the survivors.
+  DemandMatrix dm(3);
+  dm.set(0, 2, 5.0);
+  EXPECT_NO_THROW(simulate(degraded, r, dm));
+}
+
+TEST(DegradedTopology, SoftminOnPartitionedAbileneStaysRowStochastic) {
+  // Isolating node 0's out-edges partitions "from 0" traffic away while
+  // every other pair keeps a path.
+  const DiGraph g = topo::abilene();
+  std::vector<bool> remove(static_cast<std::size_t>(g.num_edges()), false);
+  for (EdgeId e : g.out_edges(0)) remove[static_cast<std::size_t>(e)] = true;
+  const DiGraph degraded = g.without_edges(remove);
+
+  const std::vector<double> w(static_cast<std::size_t>(degraded.num_edges()),
+                              1.0);
+  const Routing r = softmin_routing(degraded, w);
+  const int n = degraded.num_nodes();
+
+  for (int t = 1; t < n; ++t) {
+    // Unreachable from 0: all-zero rows everywhere.
+    for (EdgeId e = 0; e < degraded.num_edges(); ++e) {
+      EXPECT_EQ(r.ratio(0, t, e), 0.0);
+    }
+    // Still reachable towards 0: the source row sums to one.
+    EXPECT_NEAR(out_ratio_sum(degraded, r, t, 0, t), 1.0, 1e-12);
+  }
+}
+
+TEST(DegradedTopology, NodeRemovalRenumbersAndStillRoutes) {
+  const DiGraph g = topo::abilene();
+  const DiGraph degraded = g.without_node(3);
+  ASSERT_EQ(degraded.num_nodes(), g.num_nodes() - 1);
+
+  const std::vector<double> w(static_cast<std::size_t>(degraded.num_edges()),
+                              1.0);
+  const Routing r = softmin_routing(degraded, w);
+  const int n = degraded.num_nodes();
+
+  // Abilene minus one PoP stays connected; every pair must still carry a
+  // row-stochastic split and simulate cleanly under a full mesh.
+  DemandMatrix dm(n);
+  for (int s = 0; s < n; ++s) {
+    for (int t = 0; t < n; ++t) {
+      if (s == t) continue;
+      EXPECT_NEAR(out_ratio_sum(degraded, r, s, t, s), 1.0, 1e-12)
+          << "pair (" << s << "," << t << ")";
+      dm.set(s, t, 1.0);
+    }
+  }
+  const auto sim = simulate(degraded, r, dm);
+  EXPECT_GT(sim.u_max, 0.0);
+}
+
+TEST(DegradedTopology, GenericTranslationSkipsUnreachablePairs) {
+  // The per-pair reference path must handle unreachable pairs the same
+  // way as the destination-based fast path: skip, not throw.
+  DiGraph g(3);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 10.0);  // nothing re-enters 0, so (1,0), (2,0) severed
+  const std::vector<double> w{1.0, 1.0};
+  SoftminOptions options;
+  options.prune_mode = PruneMode::kFrontierMeet;
+  const Routing r = softmin_routing_generic(g, w, options);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(r.ratio(1, 0, e), 0.0);
+    EXPECT_EQ(r.ratio(2, 0, e), 0.0);
+  }
+  EXPECT_NEAR(out_ratio_sum(g, r, 0, 2, 0), 1.0, 1e-12);
+}
+
+// ---------------- serving-side validation ----------------
+
+TEST(ValidateForServing, AcceptsValidAndRejectsNaN) {
+  DiGraph g(3);
+  g.add_edge(0, 1, 10.0);  // e0
+  g.add_edge(1, 2, 10.0);  // e1
+  const std::vector<double> w{1.0, 1.0};
+  Routing r = softmin_routing(g, w);
+  DemandMatrix dm(3);
+  dm.set(0, 2, 1.0);
+
+  std::string error;
+  EXPECT_TRUE(validate_for_serving(g, r, dm, &error)) << error;
+
+  // A NaN splitting ratio slips through simulate()'s conservation check
+  // (NaN comparisons are false); validate_for_serving must catch it.
+  r.set_ratio(0, 2, 0, std::nan(""));
+  EXPECT_FALSE(validate_for_serving(g, r, dm, &error));
+  EXPECT_NE(error.find("ratio"), std::string::npos) << error;
+}
+
+TEST(ValidateForServing, RejectsForwardingOutOfDestination) {
+  DiGraph g(3);
+  g.add_edge(0, 1, 10.0);                     // e0
+  g.add_edge(1, 2, 10.0);                     // e1
+  const EdgeId out = g.add_edge(1, 0, 10.0);  // e2: out of destination 1
+  const std::vector<double> w{1.0, 1.0, 1.0};
+  Routing r = softmin_routing(g, w);
+  DemandMatrix dm(3);
+  dm.set(0, 1, 1.0);
+
+  std::string error;
+  ASSERT_TRUE(validate_for_serving(g, r, dm, &error)) << error;
+  r.set_ratio(0, 1, out, 0.5);  // destination must absorb, not forward
+  EXPECT_FALSE(validate_for_serving(g, r, dm, &error));
+  EXPECT_NE(error.find("destination"), std::string::npos) << error;
+}
+
+TEST(ValidateForServing, IgnoresZeroDemandFlows) {
+  DiGraph g(2);
+  g.add_edge(0, 1, 10.0);
+  Routing r(2, 1);
+  r.set_ratio(0, 1, 0, 0.25);  // not row-stochastic, but the flow is idle
+  DemandMatrix dm(2);          // all-zero demand
+  EXPECT_TRUE(validate_for_serving(g, r, dm, nullptr));
+}
+
+// ---------------- inverse-capacity weights ----------------
+
+TEST(InverseCapacityWeights, FavourFatLinks) {
+  DiGraph g(2);
+  const EdgeId thin = g.add_edge(0, 1, 10.0);
+  const EdgeId fat = g.add_edge(0, 1, 40.0);
+  const auto w = inverse_capacity_weights(g);
+  ASSERT_EQ(w.size(), 2U);
+  EXPECT_DOUBLE_EQ(w[static_cast<std::size_t>(thin)], 0.1);
+  EXPECT_DOUBLE_EQ(w[static_cast<std::size_t>(fat)], 0.025);
+
+  // Through softmin the fat parallel link takes the larger share.
+  const Routing r = softmin_routing(g, w);
+  EXPECT_GT(r.ratio(0, 1, fat), r.ratio(0, 1, thin));
+  EXPECT_NEAR(r.ratio(0, 1, fat) + r.ratio(0, 1, thin), 1.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace gddr::routing

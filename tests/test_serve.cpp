@@ -1,0 +1,581 @@
+// Serving-robustness tests: circuit breaker state machine, deadline
+// budget checkpoints, inbound-demand sanitisation, per-topology cache
+// and the RobustRouter degradation ladder (the ISSUE acceptance criteria
+// for the resilient routing-decision pipeline).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/policies.hpp"
+#include "obs/metrics.hpp"
+#include "routing/routing.hpp"
+#include "serve/breaker.hpp"
+#include "serve/deadline.hpp"
+#include "serve/router.hpp"
+#include "serve/sanitize.hpp"
+#include "serve/topo_cache.hpp"
+#include "topo/zoo.hpp"
+#include "traffic/demand.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace gddr {
+namespace {
+
+using serve::BreakerState;
+using serve::CircuitBreaker;
+using serve::CircuitBreakerConfig;
+using serve::DeadlineBudget;
+using serve::FailureCause;
+using serve::RobustRouter;
+using serve::RouteRequest;
+using serve::RouterConfig;
+using serve::Rung;
+using std::chrono::microseconds;
+
+using Clock = std::chrono::steady_clock;
+
+// Every test disarms on exit so an assertion failure cannot leak an armed
+// fault schedule into the next test.
+struct FaultGuard {
+  FaultGuard() { util::FaultInjector::instance().disarm(); }
+  ~FaultGuard() { util::FaultInjector::instance().disarm(); }
+};
+
+// ---------------- CircuitBreaker ----------------
+
+TEST(CircuitBreaker, ClosedAdmitsAndSuccessResetsFailures) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  CircuitBreaker breaker(config);
+  const auto t0 = Clock::now();
+
+  EXPECT_TRUE(breaker.allow(t0));
+  breaker.record_failure(t0);
+  breaker.record_failure(t0);
+  EXPECT_EQ(breaker.stats().consecutive_failures, 2);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_success(t0);
+  EXPECT_EQ(breaker.stats().consecutive_failures, 0);
+  // A success resets the streak: two more failures do not trip.
+  breaker.record_failure(t0);
+  breaker.record_failure(t0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.stats().trips, 0);
+}
+
+TEST(CircuitBreaker, TripsAfterThresholdAndBlocksUntilBackoff) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 2;
+  config.initial_backoff = microseconds(100);
+  CircuitBreaker breaker(config);
+  const auto t0 = Clock::now();
+
+  breaker.record_failure(t0);
+  breaker.record_failure(t0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().trips, 1);
+  // Blocked while the backoff is running.
+  EXPECT_FALSE(breaker.allow(t0 + microseconds(50)));
+  EXPECT_EQ(breaker.stats().probes, 0);
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsOneProbeAndRecovers) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.initial_backoff = microseconds(100);
+  CircuitBreaker breaker(config);
+  const auto t0 = Clock::now();
+
+  breaker.record_failure(t0);  // trips (threshold 1)
+  const auto probe_time = t0 + microseconds(100);
+  EXPECT_TRUE(breaker.allow(probe_time));
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.stats().probes, 1);
+  // Only one probe may be in flight.
+  EXPECT_FALSE(breaker.allow(probe_time));
+  EXPECT_EQ(breaker.stats().probes, 1);
+
+  breaker.record_success(probe_time);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.stats().recoveries, 1);
+  EXPECT_TRUE(breaker.allow(probe_time));
+}
+
+TEST(CircuitBreaker, FailedProbeGrowsBackoffUpToMax) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.initial_backoff = microseconds(100);
+  config.max_backoff = microseconds(300);
+  config.backoff_multiplier = 2.0;
+  CircuitBreaker breaker(config);
+  const auto t0 = Clock::now();
+
+  breaker.record_failure(t0);  // open until t0+100
+  auto now = t0 + microseconds(100);
+  EXPECT_TRUE(breaker.allow(now));  // probe 1
+  breaker.record_failure(now);      // reopen, backoff -> 200
+  EXPECT_EQ(breaker.stats().reopens, 1);
+  EXPECT_FALSE(breaker.allow(now + microseconds(199)));
+  now += microseconds(200);
+  EXPECT_TRUE(breaker.allow(now));  // probe 2
+  breaker.record_failure(now);      // backoff 400 clamped to 300
+  EXPECT_FALSE(breaker.allow(now + microseconds(299)));
+  EXPECT_TRUE(breaker.allow(now + microseconds(300)));
+  // Recovery resets the backoff to its initial value.
+  breaker.record_success(now + microseconds(300));
+  breaker.record_failure(now + microseconds(300));
+  EXPECT_TRUE(breaker.allow(now + microseconds(400)));
+}
+
+TEST(CircuitBreaker, RejectsBadConfiguration) {
+  CircuitBreakerConfig bad_threshold;
+  bad_threshold.failure_threshold = 0;
+  EXPECT_THROW(CircuitBreaker{bad_threshold}, std::invalid_argument);
+
+  CircuitBreakerConfig bad_backoff;
+  bad_backoff.initial_backoff = microseconds(0);
+  EXPECT_THROW(CircuitBreaker{bad_backoff}, std::invalid_argument);
+
+  CircuitBreakerConfig inverted;
+  inverted.initial_backoff = microseconds(1000);
+  inverted.max_backoff = microseconds(100);
+  EXPECT_THROW(CircuitBreaker{inverted}, std::invalid_argument);
+
+  CircuitBreakerConfig shrinking;
+  shrinking.backoff_multiplier = 0.5;
+  EXPECT_THROW(CircuitBreaker{shrinking}, std::invalid_argument);
+}
+
+// ---------------- DeadlineBudget ----------------
+
+TEST(DeadlineBudget, StageCheckpointsSplitTheTotal) {
+  const auto t0 = Clock::now();
+  DeadlineBudget budget(t0, microseconds(1000), 0.4, 0.3);
+
+  EXPECT_FALSE(budget.policy_overrun(t0 + microseconds(400)));
+  EXPECT_TRUE(budget.policy_overrun(t0 + microseconds(401)));
+  EXPECT_FALSE(budget.translate_overrun(t0 + microseconds(700)));
+  EXPECT_TRUE(budget.translate_overrun(t0 + microseconds(701)));
+  EXPECT_FALSE(budget.expired(t0 + microseconds(1000)));
+  EXPECT_TRUE(budget.expired(t0 + microseconds(1001)));
+  EXPECT_DOUBLE_EQ(budget.elapsed_s(t0 + microseconds(500)), 500e-6);
+}
+
+TEST(DeadlineBudget, RejectsBadParameters) {
+  const auto t0 = Clock::now();
+  EXPECT_THROW(DeadlineBudget(t0, microseconds(0), 0.4, 0.3),
+               std::invalid_argument);
+  EXPECT_THROW(DeadlineBudget(t0, microseconds(100), 0.0, 0.3),
+               std::invalid_argument);
+  EXPECT_THROW(DeadlineBudget(t0, microseconds(100), 0.4, -0.1),
+               std::invalid_argument);
+  // Fractions must leave room for the simulation stage.
+  EXPECT_THROW(DeadlineBudget(t0, microseconds(100), 0.6, 0.4),
+               std::invalid_argument);
+}
+
+// ---------------- sanitize_demands ----------------
+
+std::vector<bool> full_mesh_reachability(int n) {
+  return std::vector<bool>(static_cast<std::size_t>(n) *
+                               static_cast<std::size_t>(n),
+                           true);
+}
+
+TEST(Sanitize, CleanMatrixPassesThroughUntouched) {
+  const int n = 3;
+  traffic::DemandMatrix in(n);
+  in.set(0, 1, 2.5);
+  in.set(1, 2, 0.75);
+  serve::SanitizeReport report;
+  const auto out = serve::sanitize_demands(in, n, serve::SanitizeLimits{},
+                                           full_mesh_reachability(n), report);
+  EXPECT_TRUE(report.clean());
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(out.at(1, 2), 0.75);
+  EXPECT_DOUBLE_EQ(out.total(), in.total());
+}
+
+TEST(Sanitize, RepairsEveryGarbageCategory) {
+  const int n = 3;
+  std::vector<double> raw(static_cast<std::size_t>(n) * n, 0.0);
+  raw[0 * n + 1] = std::numeric_limits<double>::quiet_NaN();
+  raw[0 * n + 2] = std::numeric_limits<double>::infinity();
+  raw[1 * n + 0] = -4.0;
+  raw[1 * n + 1] = 9.0;    // self-demand
+  raw[2 * n + 0] = 1e15;   // above the clamp
+  raw[2 * n + 1] = 3.0;    // legitimate
+  const auto in = traffic::DemandMatrix::from_raw_unchecked(n, raw);
+
+  serve::SanitizeLimits limits;
+  limits.max_demand = 1e12;
+  serve::SanitizeReport report;
+  const auto out = serve::sanitize_demands(in, n, limits,
+                                           full_mesh_reachability(n), report);
+
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.non_finite_entries, 2);
+  EXPECT_EQ(report.negative_entries, 1);
+  EXPECT_EQ(report.diagonal_entries, 1);
+  EXPECT_EQ(report.clamped_entries, 1);
+  EXPECT_EQ(report.unroutable_entries, 0);
+
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(out.at(2, 0), 1e12);
+  EXPECT_DOUBLE_EQ(out.at(2, 1), 3.0);
+}
+
+TEST(Sanitize, UnreachablePairsAreZeroedAndAccounted) {
+  const int n = 3;
+  traffic::DemandMatrix in(n);
+  in.set(0, 1, 5.0);
+  in.set(0, 2, 2.0);
+  auto reachable = full_mesh_reachability(n);
+  reachable[0 * n + 2] = false;  // topology cannot route 0 -> 2
+
+  serve::SanitizeReport report;
+  const auto out = serve::sanitize_demands(in, n, serve::SanitizeLimits{},
+                                           reachable, report);
+  EXPECT_EQ(report.unroutable_entries, 1);
+  EXPECT_DOUBLE_EQ(report.unroutable_demand, 2.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 5.0);
+}
+
+TEST(Sanitize, SizeMismatchDropsTheWholeMatrix) {
+  traffic::DemandMatrix in(2);
+  in.set(0, 1, 1.0);
+  serve::SanitizeReport report;
+  const auto out = serve::sanitize_demands(in, 3, serve::SanitizeLimits{},
+                                           full_mesh_reachability(3), report);
+  EXPECT_TRUE(report.size_mismatch);
+  EXPECT_EQ(out.num_nodes(), 3);
+  EXPECT_DOUBLE_EQ(out.total(), 0.0);
+}
+
+// ---------------- TopologyCache ----------------
+
+traffic::DemandMatrix reachable_mesh(const graph::DiGraph& g,
+                                     const std::vector<bool>& reachable) {
+  const int n = g.num_nodes();
+  traffic::DemandMatrix dm(n);
+  for (int s = 0; s < n; ++s) {
+    for (int t = 0; t < n; ++t) {
+      if (s != t && reachable[static_cast<std::size_t>(s) * n + t]) {
+        dm.set(s, t, 1.0);
+      }
+    }
+  }
+  return dm;
+}
+
+TEST(TopologyCache, MissBuildsValidFallbackRoutings) {
+  serve::TopologyCache cache(4, routing::SoftminOptions{}, 1.0, 1.0);
+  const auto g = topo::abilene();
+  auto& entry = cache.acquire(g);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 0);
+
+  // Abilene is strongly connected: every pair is reachable.
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  ASSERT_EQ(entry.reachable.size(), n * n);
+  for (bool r : entry.reachable) EXPECT_TRUE(r);
+
+  // Both static rungs satisfy the full validity contract.
+  const auto dm = reachable_mesh(g, entry.reachable);
+  std::string error;
+  EXPECT_TRUE(routing::validate(g, entry.inverse_capacity, dm, &error))
+      << error;
+  EXPECT_TRUE(routing::validate(g, entry.shortest_path, dm, &error)) << error;
+  EXPECT_FALSE(entry.has_last_good);
+
+  cache.acquire(g);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.size(), 1U);
+}
+
+TEST(TopologyCache, EvictsLeastRecentlyUsed) {
+  serve::TopologyCache cache(2, routing::SoftminOptions{}, 1.0, 1.0);
+  const auto a = topo::abilene();
+  const auto b = topo::nsfnet();
+  const auto c = topo::abilene_heterogeneous();
+
+  cache.acquire(a);
+  cache.acquire(b);
+  cache.acquire(a);  // refresh A's recency
+  cache.acquire(c);  // evicts B
+  EXPECT_EQ(cache.size(), 2U);
+  EXPECT_EQ(cache.misses(), 3);
+
+  cache.acquire(b);  // B must be rebuilt
+  EXPECT_EQ(cache.misses(), 4);
+  cache.acquire(c);  // C survived the eviction of A
+  EXPECT_EQ(cache.misses(), 4);
+  EXPECT_EQ(cache.hits(), 2);
+}
+
+TEST(TopologyCache, ReachabilityReflectsDisconnection) {
+  // Remove every out-edge of node 0: nothing is reachable *from* 0, but 0
+  // stays reachable from everyone (its in-edges survive).
+  const auto g = topo::abilene();
+  std::vector<bool> remove(static_cast<std::size_t>(g.num_edges()), false);
+  for (graph::EdgeId e : g.out_edges(0)) remove[static_cast<std::size_t>(e)] = true;
+  const auto degraded = g.without_edges(remove);
+
+  serve::TopologyCache cache(2, routing::SoftminOptions{}, 1.0, 1.0);
+  auto& entry = cache.acquire(degraded);
+  const int n = degraded.num_nodes();
+  for (int t = 1; t < n; ++t) {
+    EXPECT_FALSE(entry.reachable[static_cast<std::size_t>(0) * n + t]);
+    EXPECT_TRUE(entry.reachable[static_cast<std::size_t>(t) * n + 0]);
+  }
+  // The diagonal is always reachable.
+  EXPECT_TRUE(entry.reachable[0]);
+}
+
+TEST(TopologyCache, RejectsBadConfiguration) {
+  EXPECT_THROW(serve::TopologyCache(0, routing::SoftminOptions{}, 1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(serve::TopologyCache(2, routing::SoftminOptions{}, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+// ---------------- RobustRouter ----------------
+
+RouterConfig test_router_config() {
+  RouterConfig config;
+  config.deadline = microseconds(2'000'000);
+  config.memory = 5;
+  return config;
+}
+
+RouteRequest make_request(const graph::DiGraph& g, double demand = 1.0) {
+  RouteRequest request;
+  request.graph = &g;
+  request.demand = traffic::DemandMatrix(g.num_nodes());
+  request.demand.set(0, 1, demand);
+  request.demand.set(2, 0, demand * 0.5);
+  return request;
+}
+
+TEST(RobustRouter, ServesTopRungWhenHealthy) {
+  util::Rng rng(7);
+  core::GnnPolicy policy(core::experiment_gnn_config(5), rng);
+  RobustRouter router(&policy, test_router_config());
+  const auto g = topo::abilene();
+
+  const auto decision = router.decide(make_request(g));
+  EXPECT_EQ(decision.rung, Rung::kGnnPolicy);
+  EXPECT_TRUE(decision.attempts.empty());
+  EXPECT_TRUE(decision.sanitize.clean());
+  EXPECT_GT(decision.routed_demand, 0.0);
+  EXPECT_GT(decision.sim.u_max, 0.0);
+  EXPECT_FALSE(decision.deadline_exhausted);
+  EXPECT_EQ(router.stats().requests, 1);
+  EXPECT_EQ(router.stats().rung_decisions[static_cast<int>(Rung::kGnnPolicy)],
+            1);
+}
+
+TEST(RobustRouter, NoPolicyServesFromStaticRungs) {
+  RobustRouter router(nullptr, test_router_config());
+  const auto g = topo::abilene();
+
+  const auto decision = router.decide(make_request(g));
+  EXPECT_EQ(decision.rung, Rung::kInverseCapacity);
+  ASSERT_EQ(decision.attempts.size(), 2U);
+  EXPECT_EQ(decision.attempts[0].rung, Rung::kGnnPolicy);
+  EXPECT_EQ(decision.attempts[0].cause, FailureCause::kNoPolicy);
+  EXPECT_EQ(decision.attempts[1].rung, Rung::kLastKnownGood);
+  EXPECT_EQ(decision.attempts[1].cause, FailureCause::kNotCached);
+  EXPECT_GT(decision.routed_demand, 0.0);
+}
+
+TEST(RobustRouter, PolicyNanFaultFallsBackThenRecovers) {
+  FaultGuard guard;
+  util::Rng rng(7);
+  core::GnnPolicy policy(core::experiment_gnn_config(5), rng);
+  RobustRouter router(&policy, test_router_config());
+  const auto g = topo::abilene();
+
+  util::FaultInjector::instance().arm("policy_nan@1");
+  const auto degraded = router.decide(make_request(g));
+  EXPECT_NE(degraded.rung, Rung::kGnnPolicy);
+  ASSERT_FALSE(degraded.attempts.empty());
+  EXPECT_EQ(degraded.attempts[0].rung, Rung::kGnnPolicy);
+  EXPECT_EQ(degraded.attempts[0].cause, FailureCause::kNonFiniteOutput);
+
+  // The schedule is exhausted: the next request is healthy again.
+  const auto healthy = router.decide(make_request(g));
+  EXPECT_EQ(healthy.rung, Rung::kGnnPolicy);
+}
+
+TEST(RobustRouter, LastKnownGoodCoversPolicyOutage) {
+  FaultGuard guard;
+  util::Rng rng(7);
+  core::GnnPolicy policy(core::experiment_gnn_config(5), rng);
+  RouterConfig config = test_router_config();
+  config.lkg_refresh_every = 1;  // cache the learned routing immediately
+  RobustRouter router(&policy, config);
+  const auto g = topo::abilene();
+
+  ASSERT_EQ(router.decide(make_request(g)).rung, Rung::kGnnPolicy);
+
+  util::FaultInjector::instance().arm("policy_nan@1");
+  const auto decision = router.decide(make_request(g));
+  EXPECT_EQ(decision.rung, Rung::kLastKnownGood);
+  EXPECT_GT(decision.routed_demand, 0.0);
+}
+
+TEST(RobustRouter, BreakerTripsThenProbeRecovers) {
+  FaultGuard guard;
+  util::Rng rng(7);
+  core::GnnPolicy policy(core::experiment_gnn_config(5), rng);
+  RouterConfig config = test_router_config();
+  config.breaker.failure_threshold = 2;
+  config.breaker.initial_backoff = microseconds(1);  // elapses immediately
+  RobustRouter router(&policy, config);
+  const auto g = topo::abilene();
+
+  // Every rung-1 attempt fails until disarmed.
+  util::FaultInjector::instance().arm("policy_nan@1+");
+  router.decide(make_request(g));
+  router.decide(make_request(g));  // second failure trips the breaker
+  EXPECT_EQ(router.breaker().stats().trips, 1);
+
+  // Still armed: the next admitted probe fails and re-opens.
+  const auto reopened = router.decide(make_request(g));
+  EXPECT_NE(reopened.rung, Rung::kGnnPolicy);
+
+  // Healed: a probe succeeds and closes the breaker again.
+  util::FaultInjector::instance().disarm();
+  const auto recovered = router.decide(make_request(g));
+  EXPECT_EQ(recovered.rung, Rung::kGnnPolicy);
+  EXPECT_EQ(router.breaker().state(), BreakerState::kClosed);
+  EXPECT_GE(router.breaker().stats().probes, 1);
+  EXPECT_EQ(router.breaker().stats().recoveries, 1);
+}
+
+TEST(RobustRouter, ExhaustedDeadlineStillYieldsValidRouting) {
+  util::Rng rng(7);
+  core::GnnPolicy policy(core::experiment_gnn_config(5), rng);
+  RouterConfig config = test_router_config();
+  config.deadline = microseconds(1);  // expired before rung 1 finishes
+  RobustRouter router(&policy, config);
+  const auto g = topo::abilene();
+
+  const auto decision = router.decide(make_request(g));
+  EXPECT_TRUE(decision.deadline_exhausted);
+  // Rung 4 is always materialised, so the decision is still routable.
+  EXPECT_EQ(decision.rung, Rung::kShortestPath);
+  EXPECT_GT(decision.routed_demand, 0.0);
+  std::string error;
+  const auto mesh = reachable_mesh(
+      g, full_mesh_reachability(g.num_nodes()));
+  EXPECT_TRUE(routing::validate(g, decision.routing, mesh, &error)) << error;
+  EXPECT_EQ(router.stats().deadline_exhausted, 1);
+}
+
+TEST(RobustRouter, NeverThrowsOnGarbageRequests) {
+  util::Rng rng(7);
+  core::GnnPolicy policy(core::experiment_gnn_config(5), rng);
+  RobustRouter router(&policy, test_router_config());
+  const auto g = topo::abilene();
+  const int n = g.num_nodes();
+
+  // Null topology: the only unservable request shape.
+  RouteRequest no_graph;
+  no_graph.demand = traffic::DemandMatrix(n);
+  const auto dropped = router.decide(no_graph);
+  EXPECT_EQ(dropped.rung, Rung::kDropTraffic);
+  ASSERT_FALSE(dropped.attempts.empty());
+  EXPECT_EQ(dropped.attempts.back().cause, FailureCause::kInvalidTopology);
+  EXPECT_DOUBLE_EQ(dropped.routed_demand, 0.0);
+
+  // NaN / negative / diagonal / huge entries plus a size-mismatched
+  // history matrix: sanitised and served, never thrown.
+  std::vector<double> raw(static_cast<std::size_t>(n) * n, 0.1);
+  raw[1] = std::numeric_limits<double>::quiet_NaN();
+  raw[2] = -1e9;
+  raw[0] = 5.0;  // diagonal
+  raw[3] = 1e300;
+  RouteRequest garbage;
+  garbage.graph = &g;
+  garbage.demand = traffic::DemandMatrix::from_raw_unchecked(n, raw);
+  garbage.history.emplace_back(2);  // wrong size: replaced by zeros
+  const auto decision = router.decide(garbage);
+  EXPECT_FALSE(decision.sanitize.clean());
+  EXPECT_GE(decision.sanitize.non_finite_entries, 1);
+  EXPECT_GE(decision.sanitize.negative_entries, 1);
+  EXPECT_GE(decision.sanitize.clamped_entries, 1);
+  EXPECT_NE(decision.rung, Rung::kDropTraffic);
+  EXPECT_GT(decision.routed_demand, 0.0);
+
+  // A size-mismatched demand matrix degrades to an empty (but decided)
+  // request instead of an exception.
+  RouteRequest mismatched;
+  mismatched.graph = &g;
+  mismatched.demand = traffic::DemandMatrix(n + 1);
+  const auto empty = router.decide(mismatched);
+  EXPECT_TRUE(empty.sanitize.size_mismatch);
+  EXPECT_DOUBLE_EQ(empty.routed_demand, 0.0);
+}
+
+TEST(RobustRouter, TopoChangeFaultInvalidatesLastKnownGood) {
+  FaultGuard guard;
+  util::Rng rng(7);
+  core::GnnPolicy policy(core::experiment_gnn_config(5), rng);
+  RouterConfig config = test_router_config();
+  config.lkg_refresh_every = 1;
+  RobustRouter router(&policy, config);
+  const auto g = topo::abilene();
+
+  ASSERT_EQ(router.decide(make_request(g)).rung, Rung::kGnnPolicy);
+
+  // The topology-change fault both fails rung 1 and drops the cached
+  // last-known-good, so the decision lands on the static rung 3.
+  util::FaultInjector::instance().arm("topo_change@1");
+  const auto decision = router.decide(make_request(g));
+  EXPECT_EQ(decision.rung, Rung::kInverseCapacity);
+  ASSERT_GE(decision.attempts.size(), 2U);
+  EXPECT_EQ(decision.attempts[0].cause, FailureCause::kTopologyChanged);
+  EXPECT_EQ(decision.attempts[1].cause, FailureCause::kNotCached);
+}
+
+TEST(RobustRouter, ExportsServeMetricsWhenEnabled) {
+  auto& registry = obs::Registry::instance();
+  registry.reset();
+  registry.enable();
+  {
+    util::Rng rng(7);
+    core::GnnPolicy policy(core::experiment_gnn_config(5), rng);
+    RobustRouter router(&policy, test_router_config());
+    const auto g = topo::abilene();
+    router.decide(make_request(g));
+    router.decide(make_request(g));
+  }
+  registry.disable();
+
+  EXPECT_EQ(obs::Registry::instance().counter("serve/requests"), 2U);
+  EXPECT_EQ(obs::Registry::instance().counter("serve/rung/gnn_policy"), 2U);
+  EXPECT_EQ(obs::Registry::instance().counter("serve/topo_cache/miss"), 1U);
+  registry.reset();
+}
+
+TEST(RobustRouter, RejectsBadStageFractions) {
+  RouterConfig config = test_router_config();
+  config.policy_fraction = 0.7;
+  config.translate_fraction = 0.4;
+  EXPECT_THROW(RobustRouter(nullptr, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gddr

@@ -15,6 +15,21 @@
 //       [--resume <path>]                 resume a killed run bit-identically
 //       [--every N]                       checkpoint every N iterations
 //       [--seed S]
+//   gddr_cli serve-sim <topology> [requests]
+//                                         drive the resilient serving
+//                                         pipeline (serve::RobustRouter)
+//                                         over generated demand, optionally
+//                                         degrading the topology mid-run
+//       [--seed S] [--deadline-us N] [--gamma G]
+//       [--policy <params file>]          serve trained weights instead of
+//                                         a randomly initialised policy
+//       [--fail-at N]                     degrade the topology from request
+//                                         N onward (1-based)
+//       [--heal-at M]                     restore it from request M onward
+//       [--fail-links K]                  degrade by removing K random links
+//       [--isolate V]                     degrade by removing every link
+//                                         leaving node V (makes (V,*)
+//                                         demand unroutable)
 //
 // All commands accept --workers N (default: hardware concurrency) to size
 // the thread pool used by parallel evaluation, plus --metrics <path>
@@ -23,7 +38,10 @@
 // GDDR_METRICS environment variable does the same without flags.
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage, 3 solver failure
-// (util::SolverError), 4 I/O failure (util::IoError).
+// (util::SolverError), 4 I/O failure (util::IoError); serve-sim adds
+// 5 (some request exhausted its deadline budget) and 6 (some demand was
+// dropped as unroutable on the degraded topology), with 5 taking
+// precedence over 6.
 //
 // Fault injection: set GDDR_FAULTS (see util/fault.hpp for the spec
 // grammar) to rehearse failure paths, e.g.
@@ -32,6 +50,7 @@
 // Topologies may name a catalogue entry or be a path to a
 // gddr-topology file (see src/topo/io.hpp).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +60,8 @@
 #include "core/evaluate.hpp"
 #include "core/experiment.hpp"
 #include "graph/algorithms.hpp"
+#include "nn/serialize.hpp"
+#include "serve/router.hpp"
 #include "mcf/mean_util.hpp"
 #include "mcf/optimal.hpp"
 #include "obs/sink.hpp"
@@ -298,6 +319,125 @@ int cmd_train(const TrainArgs& args, const obs::MetricsOptions& metrics) {
   return 0;
 }
 
+struct ServeSimArgs {
+  std::string topology;
+  long requests = 60;
+  std::uint64_t seed = 1;
+  long deadline_us = 1'000'000;
+  double gamma = 2.0;
+  std::string policy_path;
+  long fail_at = 0;   // 0 = never degrade
+  long heal_at = 0;   // 0 = never heal
+  int fail_links = 0;
+  int isolate = -1;   // node whose out-links are removed (-1 = none)
+};
+
+// Exit code: 5 if any request exhausted its deadline, else 6 if any
+// demand was dropped as unroutable, else 0.
+int cmd_serve_sim(const ServeSimArgs& args) {
+  const auto g = resolve_topology(args.topology);
+
+  // Degraded variant served between --fail-at and --heal-at.
+  graph::DiGraph degraded = g;
+  util::Rng rng(args.seed);
+  if (args.isolate >= 0) {
+    if (args.isolate >= g.num_nodes()) {
+      throw std::runtime_error("serve-sim: --isolate node out of range");
+    }
+    std::vector<bool> remove(static_cast<size_t>(g.num_edges()), false);
+    for (const graph::EdgeId e :
+         g.out_edges(static_cast<graph::NodeId>(args.isolate))) {
+      remove[static_cast<size_t>(e)] = true;
+    }
+    degraded = g.without_edges(remove);
+  }
+  for (int k = 0; k < args.fail_links && degraded.num_edges() > 0; ++k) {
+    degraded = degraded.without_edge(static_cast<graph::EdgeId>(
+        rng.uniform_index(static_cast<size_t>(degraded.num_edges()))));
+  }
+
+  core::GnnPolicyConfig pcfg = core::experiment_gnn_config(5);
+  util::Rng policy_rng(args.seed + 17);
+  core::GnnPolicy policy(pcfg, policy_rng);
+  if (!args.policy_path.empty()) {
+    nn::load_parameters(args.policy_path, policy.parameters());
+  }
+
+  serve::RouterConfig rcfg;
+  rcfg.deadline = std::chrono::microseconds(args.deadline_us);
+  rcfg.softmin.gamma = args.gamma;
+  serve::RobustRouter router(&policy, rcfg);
+
+  traffic::BimodalParams dparams;
+  dparams.pair_density = 0.3;
+  traffic::DemandSequence history;
+  double latency_sum = 0.0;
+  double latency_max = 0.0;
+  for (long i = 1; i <= args.requests; ++i) {
+    const bool degraded_now =
+        args.fail_at > 0 && i >= args.fail_at &&
+        (args.heal_at == 0 || i < args.heal_at);
+    const graph::DiGraph& active = degraded_now ? degraded : g;
+    serve::RouteRequest request;
+    request.graph = &active;
+    request.demand =
+        traffic::bimodal_matrix(active.num_nodes(), dparams, rng);
+    request.history = history;
+    const serve::RouteDecision decision = router.decide(request);
+    latency_sum += decision.latency_s;
+    latency_max = std::max(latency_max, decision.latency_s);
+    history.push_back(request.demand);
+    if (static_cast<int>(history.size()) > rcfg.memory) {
+      history.erase(history.begin());
+    }
+  }
+
+  const serve::RouterStats& st = router.stats();
+  std::printf("%s: %ld requests (deadline %ld us, gamma %.1f, %s policy)\n",
+              g.name().c_str(), args.requests, args.deadline_us, args.gamma,
+              args.policy_path.empty() ? "random-init" : "trained");
+  util::Table rungs({"rung", "decisions"});
+  for (int r = 0; r < static_cast<int>(serve::Rung::kRungCount); ++r) {
+    rungs.add_row({serve::rung_name(static_cast<serve::Rung>(r)),
+                   std::to_string(st.rung_decisions[r])});
+  }
+  rungs.print();
+  util::Table causes({"failure cause", "count"});
+  for (int c = 1; c < static_cast<int>(serve::FailureCause::kCauseCount);
+       ++c) {
+    const long count = st.failure_causes[c];
+    if (count == 0) continue;
+    causes.add_row({serve::cause_name(static_cast<serve::FailureCause>(c)),
+                    std::to_string(count)});
+  }
+  causes.print();
+  const serve::CircuitBreaker::Stats& br = router.breaker().stats();
+  std::printf("breaker: %s (%ld trips, %ld probes, %ld reopens, "
+              "%ld recoveries)\n",
+              serve::to_string(router.breaker().state()), br.trips,
+              br.probes, br.reopens, br.recoveries);
+  std::printf("sanitiser: %ld degraded requests, %ld unroutable entries "
+              "dropped\n",
+              st.sanitized_requests, st.unroutable_entries);
+  std::printf("deadline exhausted: %ld; latency mean %.3f ms, max %.3f ms; "
+              "topology cache: %zu entries, %ld hits, %ld misses\n",
+              st.deadline_exhausted,
+              args.requests > 0
+                  ? latency_sum / static_cast<double>(args.requests) * 1e3
+                  : 0.0,
+              latency_max * 1e3, router.topology_cache().size(),
+              router.topology_cache().hits(),
+              router.topology_cache().misses());
+  if (obs::enabled()) {
+    const std::string summary =
+        obs::render_summary(obs::Registry::instance().snapshot());
+    if (!summary.empty()) std::printf("%s\n", summary.c_str());
+  }
+  if (st.deadline_exhausted > 0) return 5;
+  if (st.unroutable_entries > 0) return 6;
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: gddr_cli [--workers N] [--metrics path "
@@ -311,9 +451,15 @@ int usage() {
                "  eval <topology> [seed]\n"
                "  train <topology> [steps] [--checkpoint path] "
                "[--resume ckpt] [--every N] [--seed S]\n"
+               "  serve-sim <topology> [requests] [--seed S] "
+               "[--deadline-us N] [--gamma G] [--policy file]\n"
+               "            [--fail-at N] [--heal-at M] [--fail-links K] "
+               "[--isolate V]\n"
                "<topology> is a catalogue name (see 'topos') or a "
                "gddr-topology file path.\n"
-               "exit codes: 0 ok, 1 error, 2 usage, 3 solver, 4 I/O\n");
+               "exit codes: 0 ok, 1 error, 2 usage, 3 solver, 4 I/O,\n"
+               "            5 serve deadline exhausted, 6 serve demand "
+               "unroutable (5 beats 6)\n");
   return 2;
 }
 
@@ -366,6 +512,47 @@ int run(int argc, char** argv, util::ThreadPool& pool,
     }
     return cmd_train(args, metrics);
   }
+  if (command == "serve-sim" && argc >= 3) {
+    ServeSimArgs args;
+    args.topology = argv[2];
+    int i = 3;
+    if (i < argc && argv[i][0] != '-') {
+      args.requests = std::strtol(argv[i], nullptr, 10);
+      if (args.requests <= 0) return usage();
+      ++i;
+    }
+    for (; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (i + 1 >= argc) return usage();
+      const char* value = argv[++i];
+      if (flag == "--seed") {
+        args.seed = std::strtoull(value, nullptr, 10);
+      } else if (flag == "--deadline-us") {
+        args.deadline_us = std::strtol(value, nullptr, 10);
+        if (args.deadline_us <= 0) return usage();
+      } else if (flag == "--gamma") {
+        args.gamma = std::atof(value);
+        if (args.gamma <= 0.0) return usage();
+      } else if (flag == "--policy") {
+        args.policy_path = value;
+      } else if (flag == "--fail-at") {
+        args.fail_at = std::strtol(value, nullptr, 10);
+        if (args.fail_at <= 0) return usage();
+      } else if (flag == "--heal-at") {
+        args.heal_at = std::strtol(value, nullptr, 10);
+        if (args.heal_at <= 0) return usage();
+      } else if (flag == "--fail-links") {
+        args.fail_links = static_cast<int>(std::strtol(value, nullptr, 10));
+        if (args.fail_links < 0) return usage();
+      } else if (flag == "--isolate") {
+        args.isolate = static_cast<int>(std::strtol(value, nullptr, 10));
+        if (args.isolate < 0) return usage();
+      } else {
+        return usage();
+      }
+    }
+    return cmd_serve_sim(args);
+  }
   return usage();
 }
 
@@ -379,6 +566,11 @@ int main(int argc, char** argv) {
     metrics = gddr::obs::consume_metrics_flag(argc, argv);
     gddr::obs::apply(metrics);
     util::FaultInjector::instance().arm_from_env();
+  } catch (const util::IoError& ex) {
+    // A malformed GDDR_FAULTS schedule (or metrics sink) is an I/O-class
+    // failure: exit 4, like every other bad external input.
+    std::fprintf(stderr, "I/O error: %s\n", ex.what());
+    return 4;
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());
     return 2;
