@@ -136,8 +136,9 @@ void drive(serve::RobustRouter& router, const graph::DiGraph& g,
         ++tally.invalid_routings;
       }
     } else {
-      const serve::TopologyEntry& entry = router.topology_cache().acquire(g);
-      const traffic::DemandMatrix mesh = reachable_mesh(g, entry.reachable);
+      const serve::TopologyCache::EntryPtr entry =
+          router.topology_cache().acquire(g);
+      const traffic::DemandMatrix mesh = reachable_mesh(g, entry->reachable);
       std::string error;
       if (!routing::validate(g, decision.routing, mesh, &error)) {
         ++tally.invalid_routings;

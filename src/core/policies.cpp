@@ -180,6 +180,94 @@ Tape::Var GnnPolicy::action_mean(Tape& tape, const rl::Observation& obs) {
   return tape.reshape(out.edges, 1, spec.num_edges());
 }
 
+namespace {
+
+// Batched specs are derived from a cached base spec and reused across
+// requests the same way cached_spec entries are: thread-local (policies
+// run on concurrent serving workers), keyed by base connectivity + batch,
+// reset past the cap rather than growing without bound.  The returned
+// reference is valid until this thread's next cached_batched_spec call.
+const gnn::BatchedGraphSpec& cached_batched_spec(const rl::Observation& obs,
+                                                 const GraphSpec& base,
+                                                 int batch) {
+  struct Entry {
+    std::size_t hash = 0;
+    int batch = 0;
+    int num_nodes = 0;
+    std::vector<int> senders;
+    std::vector<int> receivers;
+    gnn::BatchedGraphSpec bspec;
+  };
+  thread_local std::vector<std::unique_ptr<Entry>> cache;
+  const std::size_t h = spec_hash(obs);
+  for (const auto& e : cache) {
+    if (e->hash == h && e->batch == batch &&
+        e->num_nodes == obs.num_nodes && e->senders == obs.senders &&
+        e->receivers == obs.receivers) {
+      return e->bspec;
+    }
+  }
+  if (cache.size() >= kSpecCacheCap) cache.clear();
+  auto e = std::make_unique<Entry>();
+  e->hash = h;
+  e->batch = batch;
+  e->num_nodes = obs.num_nodes;
+  e->senders = obs.senders;
+  e->receivers = obs.receivers;
+  e->bspec = gnn::BatchedGraphSpec::from(base, batch);
+  cache.push_back(std::move(e));
+  return cache.back()->bspec;
+}
+
+// Stacks per-observation attribute tensors row-wise (copy b's rows are
+// contiguous at offset b * rows).
+Tensor stack_tensors(const std::vector<const rl::Observation*>& obs,
+                     const Tensor rl::Observation::* member) {
+  const Tensor& first = (*obs.front()).*member;
+  Tensor stacked(static_cast<int>(obs.size()) * first.rows(), first.cols());
+  int row = 0;
+  for (const rl::Observation* o : obs) {
+    const Tensor& t = o->*member;
+    for (int i = 0; i < t.rows(); ++i, ++row) {
+      for (int j = 0; j < t.cols(); ++j) {
+        stacked.at(row, j) = t.at(i, j);
+      }
+    }
+  }
+  return stacked;
+}
+
+}  // namespace
+
+bool GnnPolicy::action_means(Tape& tape,
+                             const std::vector<const rl::Observation*>& obs,
+                             Tape::Var& out) {
+  if (obs.empty()) return false;
+  const rl::Observation& first = *obs.front();
+  for (const rl::Observation* o : obs) {
+    if (o->num_nodes != first.num_nodes || o->senders != first.senders ||
+        o->receivers != first.receivers ||
+        !o->nodes.same_shape(first.nodes) ||
+        !o->edges.same_shape(first.edges) ||
+        !o->globals.same_shape(first.globals)) {
+      return false;
+    }
+  }
+  const GraphSpec& base = cached_spec(first);
+  const int batch = static_cast<int>(obs.size());
+  const gnn::BatchedGraphSpec& bspec =
+      cached_batched_spec(first, base, batch);
+  const GraphVars in{
+      tape.constant(stack_tensors(obs, &rl::Observation::nodes)),
+      tape.constant(stack_tensors(obs, &rl::Observation::edges)),
+      tape.constant(stack_tensors(obs, &rl::Observation::globals))};
+  const GraphVars decoded = pi_.forward_batched(tape, bspec, in);
+  // Decoded stacked edge attributes (batch*E x 1) -> one action row per
+  // copy (batch x E): row-major reshape keeps copy b's E edges on row b.
+  out = tape.reshape(decoded.edges, batch, bspec.base_edges);
+  return true;
+}
+
 Tape::Var GnnPolicy::value(Tape& tape, const rl::Observation& obs) {
   const GraphSpec& spec = cached_spec(obs);
   const GraphVars out = vf_.forward(tape, spec, graph_vars_from(tape, obs));

@@ -82,6 +82,14 @@ class GnnPolicy final : public rl::Policy {
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return "GNN"; }
 
+  // Serving micro-batches: stacks same-topology observations into one
+  // disjoint-copies graph and runs a single encode-process-decode
+  // forward.  Row b of `out` is bit-identical to action_mean(*obs[b]).
+  // Returns false when the observations do not share connectivity.
+  bool action_means(nn::Tape& tape,
+                    const std::vector<const rl::Observation*>& obs,
+                    nn::Tape::Var& out) override;
+
   std::size_t num_parameters() const;
 
  private:

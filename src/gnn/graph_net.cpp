@@ -31,6 +31,44 @@ void GraphSpec::ensure_plans() {
       nn::kernels::build_segment_plan(receivers, num_nodes));
 }
 
+BatchedGraphSpec BatchedGraphSpec::from(const GraphSpec& base, int batch) {
+  if (batch < 1) {
+    throw std::invalid_argument("BatchedGraphSpec: batch < 1");
+  }
+  BatchedGraphSpec b;
+  b.batch = batch;
+  b.base_nodes = base.num_nodes;
+  b.base_edges = base.num_edges();
+  b.spec.num_nodes = batch * base.num_nodes;
+  const std::size_t stacked_edges =
+      static_cast<std::size_t>(batch) * base.senders.size();
+  b.spec.senders.reserve(stacked_edges);
+  b.spec.receivers.reserve(stacked_edges);
+  std::vector<int> node_ids;
+  std::vector<int> edge_ids;
+  node_ids.reserve(static_cast<std::size_t>(b.spec.num_nodes));
+  edge_ids.reserve(stacked_edges);
+  for (int copy = 0; copy < batch; ++copy) {
+    const int offset = copy * base.num_nodes;
+    for (std::size_t e = 0; e < base.senders.size(); ++e) {
+      b.spec.senders.push_back(base.senders[e] + offset);
+      b.spec.receivers.push_back(base.receivers[e] + offset);
+      edge_ids.push_back(copy);
+    }
+    for (int v = 0; v < base.num_nodes; ++v) node_ids.push_back(copy);
+  }
+  b.spec.ensure_plans();
+  b.node_graph_ids =
+      std::make_shared<const std::vector<int>>(std::move(node_ids));
+  b.edge_graph_ids =
+      std::make_shared<const std::vector<int>>(std::move(edge_ids));
+  b.node_pool_plan = std::make_shared<const nn::kernels::SegmentPlan>(
+      nn::kernels::build_segment_plan(*b.node_graph_ids, batch));
+  b.edge_pool_plan = std::make_shared<const nn::kernels::SegmentPlan>(
+      nn::kernels::build_segment_plan(*b.edge_graph_ids, batch));
+  return b;
+}
+
 namespace {
 
 MlpConfig make_mlp_config(const std::vector<int>& hidden, nn::Activation act,
@@ -120,6 +158,63 @@ GraphVars GnBlock::forward(Tape& tape, const GraphSpec& spec,
   const Tape::Var all_nodes = tape.sum_rows(nodes_out);
 
   // --- phi_u ---
+  Tape::Var global_input = tape.concat_cols(all_edges, all_nodes);
+  global_input = tape.concat_cols(global_input, in.globals);
+  const Tape::Var globals_out = global_mlp_.forward(tape, global_input);
+  global_timer.stop();
+
+  return GraphVars{nodes_out, edges_out, globals_out};
+}
+
+GraphVars GnBlock::forward_batched(Tape& tape, const BatchedGraphSpec& bspec,
+                                   const GraphVars& in) {
+  const GraphSpec& spec = bspec.spec;
+  const auto& nv = tape.value(in.nodes);
+  const auto& ev = tape.value(in.edges);
+  const auto& gv = tape.value(in.globals);
+  if (nv.rows() != spec.num_nodes || nv.cols() != config_.node_in ||
+      ev.rows() != spec.num_edges() || ev.cols() != config_.edge_in ||
+      gv.rows() != bspec.batch || gv.cols() != config_.global_in) {
+    throw std::invalid_argument(
+        std::string("GnBlock (batched): graph attribute shapes ") +
+        nv.shape_str() + "/" + ev.shape_str() + "/" + gv.shape_str() +
+        " do not match the configured sizes");
+  }
+
+  // Identical to forward() except where the single global row forces a
+  // shape: broadcast_rows(globals) becomes a gather by copy id (the same
+  // value copies, one row per stacked element) and the global pooling
+  // sum_rows becomes a per-copy segment sum.  Each copy's rows are
+  // contiguous and ascending, so the segment buckets accumulate in
+  // exactly sum_rows' order — the kernel contract that keeps the batched
+  // forward bit-identical.
+  obs::ScopedTimer edge_timer("gnn/block/edge");
+  const Tape::Var sender_feats =
+      tape.gather_rows(in.nodes, spec.senders_shared);
+  const Tape::Var receiver_feats =
+      tape.gather_rows(in.nodes, spec.receivers_shared);
+  const Tape::Var u_per_edge =
+      tape.gather_rows(in.globals, bspec.edge_graph_ids);
+  Tape::Var edge_input = tape.concat_cols(in.edges, sender_feats);
+  edge_input = tape.concat_cols(edge_input, receiver_feats);
+  edge_input = tape.concat_cols(edge_input, u_per_edge);
+  const Tape::Var edges_out = edge_mlp_.forward(tape, edge_input);
+  edge_timer.stop();
+
+  obs::ScopedTimer node_timer("gnn/block/node");
+  const Tape::Var agg_edges = tape.segment_sum(edges_out, spec.receiver_plan);
+  const Tape::Var u_per_node =
+      tape.gather_rows(in.globals, bspec.node_graph_ids);
+  Tape::Var node_input = tape.concat_cols(agg_edges, in.nodes);
+  node_input = tape.concat_cols(node_input, u_per_node);
+  const Tape::Var nodes_out = node_mlp_.forward(tape, node_input);
+  node_timer.stop();
+
+  obs::ScopedTimer global_timer("gnn/block/global");
+  const Tape::Var all_edges =
+      tape.segment_sum(edges_out, bspec.edge_pool_plan);
+  const Tape::Var all_nodes =
+      tape.segment_sum(nodes_out, bspec.node_pool_plan);
   Tape::Var global_input = tape.concat_cols(all_edges, all_nodes);
   global_input = tape.concat_cols(global_input, in.globals);
   const Tape::Var globals_out = global_mlp_.forward(tape, global_input);
@@ -234,6 +329,22 @@ GraphVars EncodeProcessDecode::forward(Tape& tape, const GraphSpec& spec,
         tape.concat_cols(encoded.edges, latent.edges),
         tape.concat_cols(encoded.globals, latent.globals)};
     latent = core_.forward(tape, spec, core_in);
+  }
+  return decoder_.forward(tape, latent);
+}
+
+GraphVars EncodeProcessDecode::forward_batched(Tape& tape,
+                                               const BatchedGraphSpec& bspec,
+                                               const GraphVars& in) {
+  obs::ScopedTimer forward_timer("gnn/forward");
+  const GraphVars encoded = encoder_.forward(tape, in);
+  GraphVars latent = encoded;
+  for (int step = 0; step < config_.steps; ++step) {
+    const GraphVars core_in{
+        tape.concat_cols(encoded.nodes, latent.nodes),
+        tape.concat_cols(encoded.edges, latent.edges),
+        tape.concat_cols(encoded.globals, latent.globals)};
+    latent = core_.forward_batched(tape, bspec, core_in);
   }
   return decoder_.forward(tape, latent);
 }

@@ -59,6 +59,29 @@ struct GraphVars {
   nn::Tape::Var globals;  // 1 x global_dim
 };
 
+// Connectivity for `batch` disjoint copies of one base graph stacked into
+// a single big graph (copy b's node i becomes stacked node b*N + i), plus
+// the bookkeeping to broadcast per-copy globals and pool per copy.  The
+// serving engine batches same-topology requests through one forward pass
+// with this: every kernel touched (gather / segment-sum / row-wise MLPs)
+// accumulates each output element over the same values in the same order
+// as the unbatched forward, so the stacked result is bit-identical to
+// `batch` separate forwards (asserted in test_gnn).
+struct BatchedGraphSpec {
+  GraphSpec spec;  // stacked connectivity, batch*N nodes / batch*E edges
+  int batch = 0;
+  int base_nodes = 0;
+  int base_edges = 0;
+  // Copy id per stacked row, ascending (0,...,0,1,...,1,...).
+  std::shared_ptr<const std::vector<int>> node_graph_ids;
+  std::shared_ptr<const std::vector<int>> edge_graph_ids;
+  // Bucketed plans pooling stacked rows per copy (rho_{e->u}, rho_{v->u}).
+  std::shared_ptr<const nn::kernels::SegmentPlan> node_pool_plan;
+  std::shared_ptr<const nn::kernels::SegmentPlan> edge_pool_plan;
+
+  static BatchedGraphSpec from(const GraphSpec& base, int batch);
+};
+
 struct GnBlockConfig {
   int node_in = 1;
   int edge_in = 1;
@@ -77,6 +100,13 @@ class GnBlock {
 
   GraphVars forward(nn::Tape& tape, const GraphSpec& spec,
                     const GraphVars& in);
+
+  // Stacked-batch forward: `in` carries bspec.batch disjoint graph copies
+  // (nodes batch*N x node_in, edges batch*E x edge_in, globals
+  // batch x global_in) and every output row is bit-identical to the
+  // corresponding row of a per-copy forward().
+  GraphVars forward_batched(nn::Tape& tape, const BatchedGraphSpec& bspec,
+                            const GraphVars& in);
 
   std::vector<nn::Parameter*> parameters();
   std::size_t num_parameters() const;
@@ -139,6 +169,12 @@ class EncodeProcessDecode {
 
   GraphVars forward(nn::Tape& tape, const GraphSpec& spec,
                     const GraphVars& in);
+
+  // Stacked-batch forward (see GnBlock::forward_batched).  The encoder
+  // and decoder are row-independent MLPs, so only the core's broadcast
+  // and pooling change shape.
+  GraphVars forward_batched(nn::Tape& tape, const BatchedGraphSpec& bspec,
+                            const GraphVars& in);
 
   std::vector<nn::Parameter*> parameters();
   std::size_t num_parameters() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 
 namespace gddr::obs {
 
@@ -151,6 +152,28 @@ void Registry::reset() {
   gauges_.clear();
   timers_.clear();
   histograms_.clear();
+}
+
+double histogram_quantile(const HistogramSnapshot& h, double q) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  // !(q >= 0) also rejects a NaN q.
+  if (h.count == 0 || !(q >= 0.0 && q <= 1.0)) return kNan;
+  const double rank = q * static_cast<double>(h.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const std::uint64_t in_bucket = h.counts[i];
+    if (in_bucket == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= h.upper_bounds.size()) break;  // +inf bucket: clamp below
+    const double lower = i == 0 ? 0.0 : h.upper_bounds[i - 1];
+    const double upper = h.upper_bounds[i];
+    const double fraction = std::clamp(
+        (rank - before) / static_cast<double>(in_bucket), 0.0, 1.0);
+    return lower + (upper - lower) * fraction;
+  }
+  return h.upper_bounds.empty() ? kNan : h.upper_bounds.back();
 }
 
 double ScopedTimer::stop() {

@@ -73,6 +73,14 @@ struct HistogramSnapshot {
   double sum = 0.0;
 };
 
+// Estimates the q-quantile (q in [0, 1]) of a histogram by linear
+// interpolation inside the bucket the rank falls in, assuming
+// non-negative observations (the first bucket's lower edge is 0).  A rank
+// landing in the +inf overflow bucket is clamped to the largest finite
+// bound — the strongest statement the snapshot supports.  Returns NaN for
+// an empty histogram, an out-of-range q, or a bucketless snapshot.
+double histogram_quantile(const HistogramSnapshot& h, double q);
+
 // Point-in-time copy of every metric, sorted by name within each type.
 struct Snapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;

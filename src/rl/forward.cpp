@@ -33,6 +33,24 @@ PolicyForward forward_policy(Policy& policy, const Observation& obs) {
   return fwd;
 }
 
+std::vector<std::vector<double>> forward_action_means(
+    Policy& policy, const std::vector<const Observation*>& obs) {
+  if (obs.empty()) return {};
+  thread_local nn::Tape tape;
+  tape.reset();
+  nn::Tape::Var stacked;
+  if (!policy.action_means(tape, obs, stacked)) return {};
+  const nn::Tensor& mv = tape.value(stacked);
+  std::vector<std::vector<double>> means(obs.size());
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    means[i].resize(static_cast<std::size_t>(mv.cols()));
+    for (int j = 0; j < mv.cols(); ++j) {
+      means[i][static_cast<std::size_t>(j)] = mv.at(static_cast<int>(i), j);
+    }
+  }
+  return means;
+}
+
 double action_log_prob(const std::vector<double>& action,
                        const std::vector<double>& mean,
                        const std::vector<double>& log_std) {

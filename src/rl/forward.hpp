@@ -19,6 +19,14 @@ struct PolicyForward {
 // Evaluates action mean, log-std row and state value for one observation.
 PolicyForward forward_policy(Policy& policy, const Observation& obs);
 
+// Batched no-gradient action means for observations sharing one topology
+// (one stacked GNN forward instead of |obs| separate ones).  Row i is
+// bit-identical to forward_policy(policy, *obs[i]).mean.  Returns an
+// empty vector when the policy has no batched path or the observations
+// do not share connectivity — callers then loop forward_policy.
+std::vector<std::vector<double>> forward_action_means(
+    Policy& policy, const std::vector<const Observation*>& obs);
+
 // Log-density of `action` under the diagonal Gaussian (mean, exp(log_std)).
 double action_log_prob(const std::vector<double>& action,
                        const std::vector<double>& mean,

@@ -1,0 +1,52 @@
+#include "serve/batcher.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gddr::serve {
+
+Batcher::Batcher(util::MpmcQueue<Job>& queue, int max_batch)
+    : queue_(queue), max_batch_(max_batch) {
+  if (max_batch < 1) throw std::invalid_argument("Batcher: max_batch < 1");
+}
+
+std::vector<Job> Batcher::next_batch() {
+  if (pending_.has_value()) {
+    Job first = std::move(*pending_);
+    pending_.reset();
+    return extend(std::move(first));
+  }
+  Job first;
+  if (!queue_.pop(first)) return {};
+  return extend(std::move(first));
+}
+
+std::vector<Job> Batcher::next_ready_batch() {
+  if (pending_.has_value()) {
+    Job first = std::move(*pending_);
+    pending_.reset();
+    return extend(std::move(first));
+  }
+  Job first;
+  if (!queue_.try_pop(first)) return {};
+  return extend(std::move(first));
+}
+
+std::vector<Job> Batcher::extend(Job&& first) {
+  std::vector<Job> batch;
+  batch.reserve(static_cast<std::size_t>(max_batch_));
+  const std::uint64_t key = first.topology;
+  batch.push_back(std::move(first));
+  while (static_cast<int>(batch.size()) < max_batch_) {
+    Job next;
+    if (!queue_.try_pop(next)) break;
+    if (next.topology != key) {
+      pending_ = std::move(next);
+      break;
+    }
+    batch.push_back(std::move(next));
+  }
+  return batch;
+}
+
+}  // namespace gddr::serve

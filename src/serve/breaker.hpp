@@ -8,13 +8,27 @@
 // backoff (half-open state); the probe's outcome decides between closing
 // (recovery) and re-opening with a doubled backoff.
 //
+// Admission hands out an RAII Probe token rather than a bare bool: if the
+// admitted request dies between admission and its verdict (an exception
+// unwinding through the rung, a worker crash-path), the token's
+// destructor records the failure, so a lost probe can never wedge the
+// breaker half-open.  As a second belt, a half-open probe that has not
+// reported by `probe_timeout` is presumed dead on the next admission
+// attempt: the breaker re-opens with a grown backoff and the late verdict
+// (if it ever arrives) is discarded as stale via a generation counter.
+//
 // Time is always passed in as a steady_clock time_point so tests can
-// replay exact schedules without sleeping.  The class is deliberately not
-// thread-safe: one RobustRouter (and therefore one breaker) is owned per
-// serving worker, mirroring how RoutingEnv instances are per-worker.
+// replay exact schedules without sleeping.
+//
+// Thread safety: one breaker is shared by every serve::Engine worker.
+// state() is a lock-free atomic read; admissions and verdicts take an
+// internal mutex (they are per-request, never on a hot inner loop).
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <mutex>
 
 namespace gddr::serve {
 
@@ -26,6 +40,10 @@ struct CircuitBreakerConfig {
   std::chrono::microseconds initial_backoff{100'000};
   std::chrono::microseconds max_backoff{5'000'000};
   double backoff_multiplier = 2.0;
+  // A half-open probe that has not reported a verdict within this window
+  // is presumed dead: the next admission attempt re-opens the breaker
+  // (with grown backoff) instead of waiting forever.
+  std::chrono::microseconds probe_timeout{1'000'000};
 };
 
 enum class BreakerState { kClosed, kOpen, kHalfOpen };
@@ -38,34 +56,92 @@ class CircuitBreaker {
 
   explicit CircuitBreaker(const CircuitBreakerConfig& config);
 
-  // May this request use the guarded rung?  Closed: yes.  Open: yes once
-  // the backoff has elapsed (transitions to half-open and admits exactly
-  // one probe), otherwise no.  Half-open: no — a probe is already in
-  // flight between allow() and its record_*() verdict.
-  bool allow(Clock::time_point now);
+  // RAII admission token.  Engaged (true) means the request may use the
+  // guarded rung and MUST report a verdict: call succeed() or fail(), or
+  // let the destructor record a failure at the admission timestamp.
+  // Disengaged (false) means the rung is denied.  Move-only.
+  class Probe {
+   public:
+    Probe() = default;
+    Probe(Probe&& other) noexcept { swap(other); }
+    Probe& operator=(Probe&& other) noexcept {
+      if (this != &other) {
+        resolve_as_abandoned();
+        swap(other);
+      }
+      return *this;
+    }
+    Probe(const Probe&) = delete;
+    Probe& operator=(const Probe&) = delete;
+    ~Probe() { resolve_as_abandoned(); }
 
-  // Verdict of a request previously admitted by allow().
-  void record_success(Clock::time_point now);
-  void record_failure(Clock::time_point now);
+    explicit operator bool() const { return breaker_ != nullptr; }
 
-  BreakerState state() const { return state_; }
+    void succeed(Clock::time_point now);
+    void fail(Clock::time_point now);
+
+   private:
+    friend class CircuitBreaker;
+    Probe(CircuitBreaker* breaker, std::uint64_t generation,
+          Clock::time_point admitted)
+        : breaker_(breaker), generation_(generation), admitted_(admitted) {}
+
+    void swap(Probe& other) noexcept {
+      std::swap(breaker_, other.breaker_);
+      std::swap(generation_, other.generation_);
+      std::swap(admitted_, other.admitted_);
+    }
+    // A token destroyed without a verdict is a failed request.
+    void resolve_as_abandoned();
+
+    CircuitBreaker* breaker_ = nullptr;
+    std::uint64_t generation_ = 0;
+    Clock::time_point admitted_{};
+  };
+
+  // May this request use the guarded rung?  Closed: engaged token.
+  // Open: engaged token once the backoff has elapsed (transitions to
+  // half-open, exactly one probe).  Half-open: disengaged — unless the
+  // in-flight probe is past its timeout, in which case it is presumed
+  // dead and the open-state rules apply afresh.
+  Probe admit(Clock::time_point now);
+
+  BreakerState state() const {
+    return static_cast<BreakerState>(
+        state_.load(std::memory_order_acquire));
+  }
 
   struct Stats {
-    long trips = 0;       // closed -> open transitions
-    long probes = 0;      // half-open admissions
-    long reopens = 0;     // failed probes (half-open -> open)
-    long recoveries = 0;  // successful probes (half-open -> closed)
+    long trips = 0;           // closed -> open transitions
+    long probes = 0;          // half-open admissions
+    long reopens = 0;         // failed probes (half-open -> open)
+    long recoveries = 0;      // successful probes (half-open -> closed)
+    long probe_timeouts = 0;  // probes presumed dead past probe_timeout
     int consecutive_failures = 0;
   };
-  const Stats& stats() const { return stats_; }
+  // Returns a copy: the breaker is shared across workers, so a reference
+  // into live state would race with concurrent verdicts.
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
  private:
-  void open(Clock::time_point now);
+  // All three take mu_.
+  void report(std::uint64_t generation, bool success, Clock::time_point now);
+  void open_locked(Clock::time_point now);
+  void expire_dead_probe_locked(Clock::time_point now);
 
-  CircuitBreakerConfig config_;
-  BreakerState state_ = BreakerState::kClosed;
+  const CircuitBreakerConfig config_;
+  mutable std::mutex mu_;
+  // Mirrors the mutex-guarded state for lock-free state() readers.
+  std::atomic<int> state_{static_cast<int>(BreakerState::kClosed)};
+  // Bumped on every state transition; verdicts from an earlier generation
+  // (pre-trip requests, timed-out probes) are discarded as stale.
+  std::uint64_t generation_ = 0;
   std::chrono::microseconds backoff_;
   Clock::time_point open_until_{};
+  Clock::time_point probe_deadline_{};
   Stats stats_;
 };
 

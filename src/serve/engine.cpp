@@ -1,0 +1,195 @@
+#include "serve/engine.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "mcf/cache.hpp"
+#include "obs/metrics.hpp"
+
+namespace gddr::serve {
+
+const char* shed_policy_name(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kExpiredFirst: return "expired-first";
+    case ShedPolicy::kRejectNewest: return "reject-newest";
+  }
+  return "unknown";
+}
+
+bool parse_shed_policy(const std::string& text, ShedPolicy& out) {
+  if (text == "expired-first") {
+    out = ShedPolicy::kExpiredFirst;
+    return true;
+  }
+  if (text == "reject-newest") {
+    out = ShedPolicy::kRejectNewest;
+    return true;
+  }
+  return false;
+}
+
+Engine::Engine(rl::Policy* policy, EngineConfig config)
+    : config_(std::move(config)),
+      cache_(std::make_shared<TopologyCache>(
+          config_.router.topology_cache_capacity, config_.router.softmin,
+          config_.router.node_feature_scale,
+          config_.router.flat_feature_scale)),
+      breaker_(std::make_shared<CircuitBreaker>(config_.router.breaker)),
+      queue_(config_.queue_capacity) {
+  if (config_.workers < 0) {
+    throw std::invalid_argument("Engine: workers must be >= 0");
+  }
+  if (config_.queue_capacity < 1) {
+    throw std::invalid_argument("Engine: queue_capacity must be >= 1");
+  }
+  if (config_.max_batch < 1) {
+    throw std::invalid_argument("Engine: max_batch must be >= 1");
+  }
+  const int router_count = config_.workers == 0 ? 1 : config_.workers;
+  routers_.reserve(static_cast<std::size_t>(router_count));
+  for (int i = 0; i < router_count; ++i) {
+    routers_.push_back(std::make_unique<RobustRouter>(policy, config_.router,
+                                                      cache_, breaker_));
+  }
+  if (config_.workers == 0) {
+    inline_batcher_.emplace(queue_, config_.max_batch);
+  } else {
+    threads_.reserve(static_cast<std::size_t>(config_.workers));
+    for (int i = 0; i < config_.workers; ++i) {
+      threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+}
+
+Engine::~Engine() { shutdown(); }
+
+std::future<ServeOutcome> Engine::submit(RouteRequest request) {
+  Job job;
+  job.request = std::move(request);
+  job.topology =
+      job.request.graph ? mcf::graph_fingerprint(*job.request.graph) : 0;
+  job.enqueued = Clock::now();
+  job.deadline = config_.queue_deadline.count() > 0
+                     ? job.enqueued + config_.queue_deadline
+                     : Clock::time_point::max();
+  std::future<ServeOutcome> future = job.promise.get_future();
+  offered_.fetch_add(1, std::memory_order_relaxed);
+
+  if (!queue_.try_push(std::move(job))) {
+    // try_push leaves `job` intact on failure.
+    bool admitted = false;
+    if (!stopped_.load(std::memory_order_relaxed) &&
+        config_.shed_policy == ShedPolicy::kExpiredFirst) {
+      const Clock::time_point now = Clock::now();
+      Job victim;
+      if (queue_.evict_first_if(
+              [now](const Job& queued) { return queued.deadline <= now; },
+              victim)) {
+        shed_job(victim);
+        admitted = queue_.try_push(std::move(job));
+      }
+    }
+    if (!admitted) shed_job(job);
+  }
+  obs::gauge("serve/engine/queue_depth", static_cast<double>(queue_.size()));
+  return future;
+}
+
+void Engine::poll() {
+  if (config_.workers == 0) drain_inline();
+}
+
+void Engine::shutdown() {
+  if (stopped_.exchange(true)) return;
+  queue_.close();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  if (config_.workers == 0) drain_inline();
+  for (const std::unique_ptr<RobustRouter>& router : routers_) {
+    const RouterStats& s = router->stats();
+    router_stats_.requests += s.requests;
+    for (int r = 0; r < static_cast<int>(Rung::kRungCount); ++r) {
+      router_stats_.rung_decisions[r] += s.rung_decisions[r];
+    }
+    for (int c = 0; c < static_cast<int>(FailureCause::kCauseCount); ++c) {
+      router_stats_.failure_causes[c] += s.failure_causes[c];
+    }
+    router_stats_.sanitized_requests += s.sanitized_requests;
+    router_stats_.unroutable_entries += s.unroutable_entries;
+    router_stats_.deadline_exhausted += s.deadline_exhausted;
+  }
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.offered = offered_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Engine::worker_loop(int index) {
+  Batcher batcher(queue_, config_.max_batch);
+  RobustRouter& router = *routers_[static_cast<std::size_t>(index)];
+  for (;;) {
+    std::vector<Job> batch = batcher.next_batch();
+    if (batch.empty()) return;  // closed and drained
+    process_batch(router, std::move(batch));
+  }
+}
+
+void Engine::drain_inline() {
+  for (;;) {
+    std::vector<Job> batch = inline_batcher_->next_ready_batch();
+    if (batch.empty()) return;
+    process_batch(*routers_[0], std::move(batch));
+  }
+}
+
+void Engine::process_batch(RobustRouter& router, std::vector<Job> batch) {
+  obs::gauge("serve/engine/queue_depth", static_cast<double>(queue_.size()));
+  const Clock::time_point now = Clock::now();
+  std::vector<Job*> live;
+  live.reserve(batch.size());
+  for (Job& job : batch) {
+    if (job.deadline <= now) {
+      shed_job(job);  // expired while queued: shed, never serve late
+    } else {
+      live.push_back(&job);
+    }
+  }
+  if (live.empty()) return;
+
+  std::vector<const RouteRequest*> requests;
+  requests.reserve(live.size());
+  for (const Job* job : live) requests.push_back(&job->request);
+  std::vector<RouteDecision> decisions = router.decide_batch(requests);
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  obs::observe("serve/engine/batch_size", static_cast<double>(live.size()));
+  const Clock::time_point done = Clock::now();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    Job* job = live[i];
+    obs::observe(
+        "serve/engine/latency_us",
+        std::chrono::duration<double, std::micro>(done - job->enqueued)
+            .count());
+    served_.fetch_add(1, std::memory_order_relaxed);
+    ServeOutcome outcome;
+    outcome.shed = false;
+    outcome.decision = std::move(decisions[i]);
+    job->promise.set_value(std::move(outcome));
+  }
+}
+
+void Engine::shed_job(Job& job) {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("serve/engine/shed");
+  ServeOutcome outcome;
+  outcome.shed = true;
+  job.promise.set_value(std::move(outcome));
+}
+
+}  // namespace gddr::serve

@@ -1,0 +1,148 @@
+// Concurrent batched serving front-end over RobustRouter.
+//
+// The engine turns the single-request router into a serving system: a
+// bounded MPMC queue with load-shedding admission control feeds N worker
+// threads, each owning its own RobustRouter but all sharing one
+// thread-safe TopologyCache (per-topology artifacts built once for the
+// fleet) and one thread-safe CircuitBreaker (a failing policy trips for
+// everyone at once).  Each worker micro-batches: after blocking for its
+// first job it greedily coalesces up to max_batch already-queued
+// same-topology jobs and serves them through RobustRouter::decide_batch,
+// which stacks the GNN forward — decisions stay bit-identical to serving
+// each request alone (see graph_net.hpp on the stacked forward).
+//
+// Admission control never blocks and never drops a future on the floor:
+// submit() always returns a future that resolves, either to a decision
+// or to a ServeOutcome with shed=true.  A request is shed when
+//  * the queue is full (kRejectNewest: the incoming request is shed;
+//    kExpiredFirst: the oldest already-past-deadline queued request is
+//    evicted to make room first, and only if none has expired is the
+//    incoming request shed), or
+//  * it is past its queueing deadline by the time a worker dequeues it
+//    (serving a stale answer is worse than a fast explicit shed).
+// This makes the conservation law exact: offered == served + shed, which
+// the serve-bench CI smoke asserts.
+//
+// workers == 0 selects inline mode: no threads; submit() only enqueues,
+// and poll() (or shutdown()) serves the queued jobs synchronously through
+// the same batching path.  This keeps the full engine pipeline —
+// admission control included, since the queue can actually fill between
+// polls — testable single-threaded, and is the deterministic reference
+// for the bit-identity leg of bench_serve_throughput.  Inline mode
+// assumes a single-threaded caller.
+//
+// Exported metrics: serve/engine/shed (counter), serve/engine/queue_depth
+// (gauge), serve/engine/batch_size and serve/engine/latency_us
+// (histograms).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/router.hpp"
+#include "util/mpmc_queue.hpp"
+
+namespace gddr::serve {
+
+enum class ShedPolicy : int {
+  // Evict the oldest queued job already past its deadline to admit the
+  // newcomer; shed the newcomer only when every queued job is still
+  // viable.
+  kExpiredFirst = 0,
+  // Shed the incoming request whenever the queue is full.
+  kRejectNewest,
+};
+
+const char* shed_policy_name(ShedPolicy policy);
+bool parse_shed_policy(const std::string& text, ShedPolicy& out);
+
+struct EngineConfig {
+  // 0 = inline mode (no threads, submit() serves synchronously).
+  int workers = 4;
+  std::size_t queue_capacity = 256;
+  // Largest micro-batch a worker coalesces; 1 disables batching.
+  int max_batch = 8;
+  ShedPolicy shed_policy = ShedPolicy::kExpiredFirst;
+  // Maximum time a request may wait in the queue before it is shed
+  // instead of served; 0 = wait forever.
+  std::chrono::microseconds queue_deadline{0};
+  RouterConfig router;
+};
+
+struct EngineStats {
+  long offered = 0;  // submit() calls
+  long shed = 0;     // resolved with shed=true
+  long served = 0;   // resolved with a decision
+  long batches = 0;  // decide_batch invocations (any size)
+};
+
+class Engine {
+ public:
+  // `policy` may be null (workers serve from the static rungs only);
+  // when non-null it must be safe for concurrent read-only forwards
+  // (GnnPolicy is: per-thread tapes, immutable parameters) and outlive
+  // the engine.
+  Engine(rl::Policy* policy, EngineConfig config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Enqueues a request.  The returned future always becomes ready —
+  // with a decision, or with shed=true if admission control dropped the
+  // request.  Worker threads resolve it asynchronously; in inline mode
+  // it resolves on the next poll() or shutdown().  After shutdown()
+  // every submission is shed immediately.
+  std::future<ServeOutcome> submit(RouteRequest request);
+
+  // Inline mode only: serves every job currently queued (in micro-
+  // batches) on the calling thread.  No-op when worker threads exist.
+  void poll();
+
+  // Closes the queue, serves every already-admitted job, and joins the
+  // workers.  Idempotent; also run by the destructor.
+  void shutdown();
+
+  EngineStats stats() const;
+
+  // Per-worker RouterStats summed over the fleet.  Only meaningful
+  // after shutdown(); returns zeros while workers are still running
+  // (worker stats are unsynchronised by design).
+  const RouterStats& router_stats() const { return router_stats_; }
+
+  const CircuitBreaker& breaker() const { return *breaker_; }
+  const TopologyCache& topology_cache() const { return *cache_; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void worker_loop(int index);
+  void drain_inline();
+  void process_batch(RobustRouter& router, std::vector<Job> batch);
+  void shed_job(Job& job);
+
+  EngineConfig config_;
+  std::shared_ptr<TopologyCache> cache_;
+  std::shared_ptr<CircuitBreaker> breaker_;
+  std::vector<std::unique_ptr<RobustRouter>> routers_;
+  util::MpmcQueue<Job> queue_;
+  // Inline mode only: persistent so a held-back lookahead job (see
+  // Batcher::pending_) survives across submit() calls.
+  std::optional<Batcher> inline_batcher_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<long> offered_{0};
+  std::atomic<long> shed_{0};
+  std::atomic<long> served_{0};
+  std::atomic<long> batches_{0};
+  RouterStats router_stats_;
+};
+
+}  // namespace gddr::serve

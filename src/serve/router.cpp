@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "mcf/cache.hpp"
 #include "obs/metrics.hpp"
 #include "rl/forward.hpp"
 #include "util/fault.hpp"
@@ -112,11 +114,22 @@ void poison_demand(traffic::DemandMatrix& dm) {
 }  // namespace
 
 RobustRouter::RobustRouter(rl::Policy* policy, RouterConfig config)
+    : RobustRouter(policy, config,
+                   std::make_shared<TopologyCache>(
+                       config.topology_cache_capacity, config.softmin,
+                       config.node_feature_scale, config.flat_feature_scale),
+                   std::make_shared<CircuitBreaker>(config.breaker)) {}
+
+RobustRouter::RobustRouter(rl::Policy* policy, RouterConfig config,
+                           std::shared_ptr<TopologyCache> cache,
+                           std::shared_ptr<CircuitBreaker> breaker)
     : policy_(policy),
       config_(config),
-      breaker_(config.breaker),
-      cache_(config.topology_cache_capacity, config.softmin,
-             config.node_feature_scale, config.flat_feature_scale) {
+      breaker_(std::move(breaker)),
+      cache_(std::move(cache)) {
+  if (cache_ == nullptr || breaker_ == nullptr) {
+    throw std::invalid_argument("RobustRouter: null shared cache/breaker");
+  }
   // Fail fast on an unusable stage split instead of on the first request.
   DeadlineBudget probe(Clock::now(), config_.deadline,
                        config_.policy_fraction, config_.translate_fraction);
@@ -124,14 +137,78 @@ RobustRouter::RobustRouter(rl::Policy* policy, RouterConfig config)
 }
 
 RouteDecision RobustRouter::decide(const RouteRequest& request) {
+  return decide_with_mean(request, nullptr);
+}
+
+std::vector<RouteDecision> RobustRouter::decide_batch(
+    const std::vector<const RouteRequest*>& requests) {
+  std::vector<RouteDecision> decisions;
+  decisions.reserve(requests.size());
+
+  // The stacked forward pays off only when rung 1 would actually run for
+  // several same-topology requests; otherwise every request takes the
+  // plain path.
+  bool batchable = policy_ != nullptr && requests.size() > 1 &&
+                   breaker_->state() == BreakerState::kClosed &&
+                   requests.front() != nullptr &&
+                   requests.front()->graph != nullptr;
+  const graph::DiGraph* g = batchable ? requests.front()->graph : nullptr;
+  if (batchable) {
+    const std::uint64_t fp = mcf::graph_fingerprint(*g);
+    for (const RouteRequest* r : requests) {
+      if (r == nullptr || r->graph == nullptr ||
+          (r->graph != g && mcf::graph_fingerprint(*r->graph) != fp)) {
+        batchable = false;
+        break;
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> means;
+  if (batchable) {
+    try {
+      const TopologyCache::EntryPtr entry = cache_->acquire(*g);
+      std::vector<rl::Observation> obs;
+      obs.reserve(requests.size());
+      for (const RouteRequest* r : requests) {
+        obs.push_back(serving_observation(entry->obs_scenario, r->history,
+                                          config_.memory,
+                                          config_.node_features));
+      }
+      std::vector<const rl::Observation*> obs_ptrs;
+      obs_ptrs.reserve(obs.size());
+      for (const rl::Observation& o : obs) obs_ptrs.push_back(&o);
+      means = rl::forward_action_means(*policy_, obs_ptrs);
+      obs::count("serve/batch/forwards");
+    } catch (const std::exception&) {
+      // A failed precompute is not a failed request: every request just
+      // takes the per-request path (which reports its own rung-1 cause).
+      means.clear();
+    }
+  }
+
+  const bool have_means = means.size() == requests.size();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i] == nullptr) {
+      RouteRequest empty;
+      decisions.push_back(decide_with_mean(empty, nullptr));
+      continue;
+    }
+    decisions.push_back(decide_with_mean(
+        *requests[i], have_means ? &means[i] : nullptr));
+  }
+  return decisions;
+}
+
+RouteDecision RobustRouter::decide_with_mean(
+    const RouteRequest& request, const std::vector<double>* mean) {
   const Clock::time_point start = Clock::now();
   ++stats_.requests;
   obs::count("serve/requests");
-  const CircuitBreaker::Stats breaker_before = breaker_.stats();
 
   RouteDecision decision;
   try {
-    decision = decide_impl(request, start);
+    decision = decide_impl(request, start, mean);
   } catch (const std::exception&) {
     // decide_impl absorbs every anticipated failure; anything escaping it
     // is itself a fault the serving contract must survive.  Dropping the
@@ -146,12 +223,13 @@ RouteDecision RobustRouter::decide(const RouteRequest& request) {
   if (!decision.sanitize.clean()) ++stats_.sanitized_requests;
   stats_.unroutable_entries += decision.sanitize.unroutable_entries;
   if (decision.deadline_exhausted) ++stats_.deadline_exhausted;
-  export_metrics(decision, breaker_before);
+  export_metrics(decision);
   return decision;
 }
 
 RouteDecision RobustRouter::decide_impl(const RouteRequest& request,
-                                        Clock::time_point start) {
+                                        Clock::time_point start,
+                                        const std::vector<double>* mean) {
   const DeadlineBudget budget(start, config_.deadline,
                               config_.policy_fraction,
                               config_.translate_fraction);
@@ -166,9 +244,11 @@ RouteDecision RobustRouter::decide_impl(const RouteRequest& request,
   RouteDecision decision;
 
   // Ingress: validate the topology (cached) and repair the demand matrix.
-  TopologyEntry* entry = nullptr;
+  // The shared_ptr pins the entry for this whole decision — concurrent
+  // workers may evict it from the cache, but never from under us.
+  TopologyCache::EntryPtr entry;
   try {
-    entry = &cache_.acquire(g);
+    entry = cache_->acquire(g);
   } catch (const std::exception&) {
     RouteDecision dropped = drop_all_decision(request);
     note_failure(dropped, Rung::kDropTraffic,
@@ -192,32 +272,31 @@ RouteDecision RobustRouter::decide_impl(const RouteRequest& request,
   const bool topo_changed = util::inject(util::FaultSite::kTopoChange);
   if (topo_changed) {
     obs::count("serve/fault/topo_change");
-    entry->has_last_good = false;
+    entry->last_good.invalidate();
   }
 
-  // Rung 1: live policy inference, gated by the circuit breaker.
+  // Rung 1: live policy inference, gated by the circuit breaker.  The
+  // RAII probe token reports failure even if the rung dies without a
+  // verdict, so a crashed probe cannot wedge the breaker half-open.
   if (policy_ == nullptr) {
     note_failure(decision, Rung::kGnnPolicy, FailureCause::kNoPolicy);
   } else if (topo_changed) {
     note_failure(decision, Rung::kGnnPolicy, FailureCause::kTopologyChanged);
-  } else if (!breaker_.allow(Clock::now())) {
-    note_failure(decision, Rung::kGnnPolicy, FailureCause::kBreakerOpen);
   } else {
-    const FailureCause cause = try_policy_rung(
-        g, *entry, demand, request.history, budget, decision);
-    if (cause == FailureCause::kNone) {
-      breaker_.record_success(Clock::now());
-      ++entry->successes_since_refresh;
-      if (!entry->has_last_good ||
-          entry->successes_since_refresh >= config_.lkg_refresh_every) {
-        entry->last_good = decision.routing;
-        entry->has_last_good = true;
-        entry->successes_since_refresh = 0;
+    CircuitBreaker::Probe probe = breaker_->admit(Clock::now());
+    if (!probe) {
+      note_failure(decision, Rung::kGnnPolicy, FailureCause::kBreakerOpen);
+    } else {
+      const FailureCause cause = try_policy_rung(
+          g, *entry, demand, request.history, budget, mean, decision);
+      if (cause == FailureCause::kNone) {
+        probe.succeed(Clock::now());
+        entry->last_good.offer(decision.routing, config_.lkg_refresh_every);
+        return decision;
       }
-      return decision;
+      probe.fail(Clock::now());
+      note_failure(decision, Rung::kGnnPolicy, cause);
     }
-    breaker_.record_failure(Clock::now());
-    note_failure(decision, Rung::kGnnPolicy, cause);
   }
 
   // Past the whole-request deadline the ladder stops spending: rung 3's
@@ -226,14 +305,15 @@ RouteDecision RobustRouter::decide_impl(const RouteRequest& request,
   decision.deadline_exhausted = budget.expired(Clock::now());
 
   // Rung 2: last-known-good learned routing for this topology.
-  if (entry->has_last_good) {
-    if (try_cached_rung(Rung::kLastKnownGood, g, entry->last_good, demand,
+  routing::Routing last_good;
+  if (entry->last_good.load(last_good)) {
+    if (try_cached_rung(Rung::kLastKnownGood, g, last_good, demand,
                         decision)) {
       return decision;
     }
     // A last-known-good that no longer validates is stale — drop it so
     // later requests skip straight past it.
-    entry->has_last_good = false;
+    entry->last_good.invalidate();
   } else {
     note_failure(decision, Rung::kLastKnownGood, FailureCause::kNotCached);
   }
@@ -269,25 +349,32 @@ RouteDecision RobustRouter::decide_impl(const RouteRequest& request,
 }
 
 FailureCause RobustRouter::try_policy_rung(
-    const graph::DiGraph& g, TopologyEntry& entry,
+    const graph::DiGraph& g, const TopologyEntry& entry,
     const traffic::DemandMatrix& demand,
     const traffic::DemandSequence& history, const DeadlineBudget& budget,
-    RouteDecision& decision) {
-  rl::PolicyForward forward;
-  try {
-    const rl::Observation obs = serving_observation(
-        entry.obs_scenario, history, config_.memory, config_.node_features);
-    forward = rl::forward_policy(*policy_, obs);
-  } catch (const std::exception&) {
-    return FailureCause::kPolicyError;
+    const std::vector<double>* precomputed_mean, RouteDecision& decision) {
+  std::vector<double> mean;
+  if (precomputed_mean != nullptr) {
+    // Computed by decide_batch's stacked forward — bit-identical to the
+    // per-request forward below, so both paths route identically.
+    mean = *precomputed_mean;
+  } else {
+    try {
+      const rl::Observation obs =
+          serving_observation(entry.obs_scenario, history, config_.memory,
+                              config_.node_features);
+      mean = rl::forward_policy(*policy_, obs).mean;
+    } catch (const std::exception&) {
+      return FailureCause::kPolicyError;
+    }
   }
   if (util::inject(util::FaultSite::kPolicyNan)) {
     obs::count("serve/fault/policy_nan");
-    if (!forward.mean.empty()) {
-      forward.mean[0] = std::numeric_limits<double>::quiet_NaN();
+    if (!mean.empty()) {
+      mean[0] = std::numeric_limits<double>::quiet_NaN();
     }
   }
-  for (const double m : forward.mean) {
+  for (const double m : mean) {
     if (!std::isfinite(m)) return FailureCause::kNonFiniteOutput;
   }
   if (util::inject(util::FaultSite::kPolicySlow)) {
@@ -303,7 +390,7 @@ FailureCause RobustRouter::try_policy_rung(
   routing::Routing candidate;
   try {
     const std::vector<double> weights = routing::weights_from_actions(
-        forward.mean, config_.min_weight, config_.max_weight);
+        mean, config_.min_weight, config_.max_weight);
     candidate = routing::softmin_routing(g, weights, config_.softmin);
   } catch (const std::exception&) {
     return FailureCause::kTranslationFailed;
@@ -368,9 +455,7 @@ void RobustRouter::note_failure(RouteDecision& decision, Rung rung,
   ++stats_.failure_causes[static_cast<int>(cause)];
 }
 
-void RobustRouter::export_metrics(
-    const RouteDecision& decision,
-    const CircuitBreaker::Stats& breaker_before) {
+void RobustRouter::export_metrics(const RouteDecision& decision) {
   if (!obs::enabled()) return;
   obs::Registry& registry = obs::Registry::instance();
   registry.add_counter(std::string("serve/rung/") + rung_name(decision.rung));
@@ -399,28 +484,8 @@ void RobustRouter::export_metrics(
   if (decision.deadline_exhausted) {
     registry.add_counter("serve/deadline_exhausted");
   }
-  const CircuitBreaker::Stats& after = breaker_.stats();
-  if (after.trips > breaker_before.trips) {
-    registry.add_counter("serve/breaker/trip",
-                         static_cast<std::uint64_t>(after.trips -
-                                                    breaker_before.trips));
-  }
-  if (after.probes > breaker_before.probes) {
-    registry.add_counter("serve/breaker/probe",
-                         static_cast<std::uint64_t>(after.probes -
-                                                    breaker_before.probes));
-  }
-  if (after.reopens > breaker_before.reopens) {
-    registry.add_counter("serve/breaker/reopen",
-                         static_cast<std::uint64_t>(after.reopens -
-                                                    breaker_before.reopens));
-  }
-  if (after.recoveries > breaker_before.recoveries) {
-    registry.add_counter(
-        "serve/breaker/recovery",
-        static_cast<std::uint64_t>(after.recoveries -
-                                   breaker_before.recoveries));
-  }
+  // Breaker transition counters are exported by the breaker itself (it
+  // is shared across workers; see CircuitBreaker).
   registry.record_span("serve/decide", decision.latency_s);
   registry.observe("serve/latency_us", decision.latency_s * 1e6);
 }

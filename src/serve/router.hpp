@@ -40,13 +40,17 @@
 // kRequestGarbage) let tests and the chaos bench rehearse each failure
 // path deterministically.
 //
-// Thread model: share-nothing, one RobustRouter per serving worker (the
-// wrapped rl::Policy forward is itself thread-safe, but the breaker,
-// cache and stats are not shared).
+// Thread model: one RobustRouter per serving worker, with the expensive
+// per-topology state shareable across workers — serve::Engine constructs
+// its workers' routers over one thread-safe TopologyCache and one
+// thread-safe CircuitBreaker (the shared-state constructor below), while
+// RouterStats stay per-router.  A router constructed with the plain
+// constructor owns private instances and behaves exactly as before.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/routing_env.hpp"
@@ -154,26 +158,52 @@ class RobustRouter {
  public:
   // `policy` may be null (rung 1 permanently unavailable — the router
   // serves purely from the static rungs); when non-null it must outlive
-  // the router.
+  // the router.  This constructor owns a private cache and breaker.
   RobustRouter(rl::Policy* policy, RouterConfig config);
+
+  // Shared-state constructor for engine workers: every worker's router
+  // reuses one topology cache (per-topology artifacts built once) and
+  // one circuit breaker (a failing policy trips for the whole fleet).
+  // Both must be non-null; config.breaker / topology_cache_capacity /
+  // softmin / feature scales are ignored in favour of the shared
+  // instances' own configuration.
+  RobustRouter(rl::Policy* policy, RouterConfig config,
+               std::shared_ptr<TopologyCache> cache,
+               std::shared_ptr<CircuitBreaker> breaker);
 
   // Produces a valid routing decision for the request.  Never throws.
   RouteDecision decide(const RouteRequest& request);
 
+  // Decides a micro-batch of same-topology requests, amortising the GNN
+  // forward: when the policy has a batched path (rl::Policy::
+  // action_means) and rung 1 is live, all action means are computed in
+  // one stacked forward and each request then runs the ordinary ladder
+  // on its own precomputed mean.  Decisions are identical to calling
+  // decide() per request in order (the stacked forward is bit-identical
+  // per row).  Requests that do not share the first request's topology,
+  // or any batch-path miss, fall back to plain decide().  Never throws.
+  std::vector<RouteDecision> decide_batch(
+      const std::vector<const RouteRequest*>& requests);
+
   const RouterStats& stats() const { return stats_; }
-  const CircuitBreaker& breaker() const { return breaker_; }
-  TopologyCache& topology_cache() { return cache_; }
+  const CircuitBreaker& breaker() const { return *breaker_; }
+  TopologyCache& topology_cache() { return *cache_; }
   const RouterConfig& config() const { return config_; }
 
  private:
   using Clock = std::chrono::steady_clock;
 
+  RouteDecision decide_with_mean(const RouteRequest& request,
+                                 const std::vector<double>* mean);
   RouteDecision decide_impl(const RouteRequest& request,
-                            Clock::time_point start);
-  FailureCause try_policy_rung(const graph::DiGraph& g, TopologyEntry& entry,
+                            Clock::time_point start,
+                            const std::vector<double>* mean);
+  FailureCause try_policy_rung(const graph::DiGraph& g,
+                               const TopologyEntry& entry,
                                const traffic::DemandMatrix& demand,
                                const traffic::DemandSequence& history,
                                const DeadlineBudget& budget,
+                               const std::vector<double>* precomputed_mean,
                                RouteDecision& decision);
   bool try_cached_rung(Rung rung, const graph::DiGraph& g,
                        const routing::Routing& routing,
@@ -181,13 +211,12 @@ class RobustRouter {
                        RouteDecision& decision);
   RouteDecision drop_all_decision(const RouteRequest& request) const;
   void note_failure(RouteDecision& decision, Rung rung, FailureCause cause);
-  void export_metrics(const RouteDecision& decision,
-                      const CircuitBreaker::Stats& breaker_before);
+  void export_metrics(const RouteDecision& decision);
 
   rl::Policy* policy_;
   RouterConfig config_;
-  CircuitBreaker breaker_;
-  TopologyCache cache_;
+  std::shared_ptr<CircuitBreaker> breaker_;
+  std::shared_ptr<TopologyCache> cache_;
   RouterStats stats_;
 };
 

@@ -43,15 +43,21 @@ traffic::DemandMatrix sanitize_demands(const traffic::DemandMatrix& in,
         d = 0.0;
         continue;
       }
-      if (limits.max_demand > 0.0 && d > limits.max_demand) {
-        ++report.clamped_entries;
-        d = limits.max_demand;
-      }
+      report.offered_demand += d;
+      // Unroutable before clamp, and each entry in exactly one bucket: an
+      // unroutable entry is dropped at its full offered volume, not the
+      // clamped remainder, and never also counts as clamped.
       if (d > 0.0 && !reachable[static_cast<std::size_t>(s) * n +
                                 static_cast<std::size_t>(t)]) {
         ++report.unroutable_entries;
         report.unroutable_demand += d;
         d = 0.0;
+        continue;
+      }
+      if (limits.max_demand > 0.0 && d > limits.max_demand) {
+        ++report.clamped_entries;
+        report.clamped_demand += d - limits.max_demand;
+        d = limits.max_demand;
       }
     }
   }

@@ -33,9 +33,18 @@ struct SanitizeReport {
   long non_finite_entries = 0;  // NaN / +-inf, zeroed
   long negative_entries = 0;    // < 0, zeroed
   long diagonal_entries = 0;    // self-demand, zeroed
-  long clamped_entries = 0;     // > max_demand, clamped
+  long clamped_entries = 0;     // routable but > max_demand, clamped
   long unroutable_entries = 0;  // t unreachable from s, zeroed
-  double unroutable_demand = 0.0;  // volume dropped as unroutable
+  // Each entry is counted exactly once: garbage (non-finite / negative /
+  // diagonal) first, then unroutable, then clamped — an unroutable entry
+  // above the clamp is unroutable, not clamped.
+  //
+  // Volumes reconcile exactly:
+  //   sanitized.total() == offered_demand - unroutable_demand
+  //                                       - clamped_demand
+  double offered_demand = 0.0;     // finite non-negative off-diagonal volume
+  double unroutable_demand = 0.0;  // offered volume dropped as unroutable
+  double clamped_demand = 0.0;     // offered volume shaved off by the clamp
 
   bool clean() const {
     return !size_mismatch && non_finite_entries == 0 &&

@@ -27,55 +27,76 @@ TopologyCache::TopologyCache(std::size_t capacity,
   }
 }
 
-TopologyEntry& TopologyCache::acquire(const graph::DiGraph& g) {
+TopologyCache::EntryPtr TopologyCache::acquire(const graph::DiGraph& g) {
   const std::uint64_t key = mcf::graph_fingerprint(g);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = entries_.find(key); it != entries_.end()) {
+      ++hits_;
+      recency_.splice(recency_.begin(), recency_, it->second.recency);
+      return it->second.entry;
+    }
+    ++misses_;
+  }
+  obs::count("serve/topo_cache/miss");
+
+  // The build is the expensive part of a miss (a Dijkstra per node plus
+  // two full routings) — run it unlocked so concurrent workers serving
+  // cached topologies are not stalled behind it.
+  EntryPtr built = build_entry(g, key);
+
+  std::lock_guard<std::mutex> lock(mu_);
   if (const auto it = entries_.find(key); it != entries_.end()) {
-    ++hits_;
+    // Another worker built and inserted the same topology while we were
+    // unlocked; theirs is canonical (it may already carry a
+    // last-known-good routing).
     recency_.splice(recency_.begin(), recency_, it->second.recency);
     return it->second.entry;
   }
-  ++misses_;
-  obs::count("serve/topo_cache/miss");
+  if (entries_.size() >= capacity_) {
+    const std::uint64_t victim = recency_.back();
+    recency_.pop_back();
+    // Only the cache's reference is dropped: any worker still holding
+    // the evicted entry's shared_ptr keeps it alive.
+    entries_.erase(victim);
+    obs::count("serve/topo_cache/evict");
+  }
+  recency_.push_front(key);
+  entries_.emplace(key, Slot{built, recency_.begin()});
+  return built;
+}
 
+TopologyCache::EntryPtr TopologyCache::build_entry(const graph::DiGraph& g,
+                                                   std::uint64_t key) const {
   // Trust boundary: a topology is validated exactly once, before any
   // routing artifact is derived from it.
   graph::check_topology(g, "serve/topo_cache/ingress");
 
-  TopologyEntry entry;
-  entry.fingerprint = key;
+  auto entry = std::make_shared<TopologyEntry>();
+  entry->fingerprint = key;
   const int n = g.num_nodes();
   const auto hop_weights = graph::unit_weights(g);
-  entry.reachable.assign(static_cast<std::size_t>(n) *
-                             static_cast<std::size_t>(n),
-                         false);
+  entry->reachable.assign(static_cast<std::size_t>(n) *
+                              static_cast<std::size_t>(n),
+                          false);
   for (graph::NodeId t = 0; t < n; ++t) {
     const auto sp = graph::dijkstra_to(g, t, hop_weights);
     for (graph::NodeId s = 0; s < n; ++s) {
       const bool ok =
           s == t ||
           sp.parent_edge[static_cast<std::size_t>(s)] != graph::kInvalidEdge;
-      entry.reachable[static_cast<std::size_t>(s) *
-                          static_cast<std::size_t>(n) +
-                      static_cast<std::size_t>(t)] = ok;
+      entry->reachable[static_cast<std::size_t>(s) *
+                           static_cast<std::size_t>(n) +
+                       static_cast<std::size_t>(t)] = ok;
     }
   }
-  entry.shortest_path = routing::shortest_path_routing(g, hop_weights);
-  entry.inverse_capacity = routing::softmin_routing(
+  entry->shortest_path = routing::shortest_path_routing(g, hop_weights);
+  entry->inverse_capacity = routing::softmin_routing(
       g, routing::inverse_capacity_weights(g), softmin_);
-  entry.obs_scenario.graph = g;
-  entry.obs_scenario.node_feature_scale = node_feature_scale_;
-  entry.obs_scenario.flat_feature_scale = flat_feature_scale_;
-
-  if (entries_.size() >= capacity_) {
-    const std::uint64_t victim = recency_.back();
-    recency_.pop_back();
-    entries_.erase(victim);
-    obs::count("serve/topo_cache/evict");
-  }
-  recency_.push_front(key);
-  auto [it, inserted] = entries_.emplace(
-      key, Slot{std::move(entry), recency_.begin()});
-  return it->second.entry;
+  entry->obs_scenario.graph = g;
+  entry->obs_scenario.node_feature_scale = node_feature_scale_;
+  entry->obs_scenario.flat_feature_scale = flat_feature_scale_;
+  return entry;
 }
 
 }  // namespace gddr::serve

@@ -14,14 +14,23 @@
 // the unseen graph before anything else touches it, so a corrupt
 // topology is rejected at ingress instead of corrupting routing state.
 //
-// Not thread-safe by design: one RobustRouter owns one cache (serving
-// workers are share-nothing, like RoutingEnv instances).
+// Thread safety: one cache is shared by every serve::Engine worker.  The
+// index is mutex-guarded, and entries are handed out as
+// shared_ptr<const TopologyEntry>, so an in-flight decision pins its
+// entry across a concurrent eviction — eviction only drops the cache's
+// own reference.  The expensive miss build (Dijkstra per node, two
+// routings) runs outside the lock; when two workers race to build the
+// same topology, the first insert wins and the loser's build is
+// discarded.  Everything in an entry is immutable after construction
+// except the rung-2 LastGood box, which synchronises itself.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/scenario.hpp"
@@ -41,17 +50,57 @@ struct TopologyEntry {
   // Rung 4: hop-count shortest paths — the cheapest thing that is still a
   // valid routing.
   routing::Routing shortest_path;
-  // Rung 2: the most recent successfully served learned routing.
-  bool has_last_good = false;
-  routing::Routing last_good;
-  long successes_since_refresh = 0;
   // Graph copy plus feature scales, in the shape
   // core::RoutingEnv::build_observation consumes.
   core::Scenario obs_scenario;
+
+  // Rung 2: the most recent successfully served learned routing.  The
+  // one mutable part of an otherwise-immutable shared entry, so it
+  // carries its own lock; `mutable` lets workers holding a
+  // shared_ptr<const TopologyEntry> update it.
+  class LastGood {
+   public:
+    // Copies the stored routing into `out`; false when none is stored.
+    bool load(routing::Routing& out) const {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!has_) return false;
+      out = routing_;
+      return true;
+    }
+    bool has() const {
+      std::lock_guard<std::mutex> lock(mu_);
+      return has_;
+    }
+    void invalidate() {
+      std::lock_guard<std::mutex> lock(mu_);
+      has_ = false;
+      successes_since_refresh_ = 0;
+    }
+    // Called after every rung-1 success.  Stores `r` when nothing is
+    // stored yet or every `refresh_every` successes (copying a Routing
+    // is not free; 1 refreshes every time).
+    void offer(const routing::Routing& r, int refresh_every) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++successes_since_refresh_;
+      if (has_ && successes_since_refresh_ < refresh_every) return;
+      routing_ = r;
+      has_ = true;
+      successes_since_refresh_ = 0;
+    }
+
+   private:
+    mutable std::mutex mu_;
+    bool has_ = false;
+    routing::Routing routing_;
+    long successes_since_refresh_ = 0;
+  };
+  mutable LastGood last_good;
 };
 
 class TopologyCache {
  public:
+  using EntryPtr = std::shared_ptr<const TopologyEntry>;
+
   // `node_feature_scale` / `flat_feature_scale` must match the scales the
   // served policy was trained with (they normalise observation features).
   TopologyCache(std::size_t capacity, routing::SoftminOptions softmin,
@@ -59,24 +108,39 @@ class TopologyCache {
 
   // Returns the entry for `g`, building it on first sight (runs
   // graph::check_topology, which throws util::ContractViolation on a
-  // corrupt graph; nothing is cached in that case).  The reference stays
-  // valid until `capacity` further distinct topologies are acquired.
-  TopologyEntry& acquire(const graph::DiGraph& g);
+  // corrupt graph; nothing is cached in that case).  The returned
+  // shared_ptr keeps the entry alive for as long as the caller holds it,
+  // however many topologies are acquired in between.
+  EntryPtr acquire(const graph::DiGraph& g);
 
-  std::size_t size() const { return entries_.size(); }
-  long hits() const { return hits_; }
-  long misses() const { return misses_; }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  long hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  long misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
  private:
-  std::size_t capacity_;
-  routing::SoftminOptions softmin_;
-  double node_feature_scale_;
-  double flat_feature_scale_;
+  // The expensive part of a miss (validation, Dijkstras, routings); runs
+  // with no lock held.
+  EntryPtr build_entry(const graph::DiGraph& g, std::uint64_t key) const;
+
+  const std::size_t capacity_;
+  const routing::SoftminOptions softmin_;
+  const double node_feature_scale_;
+  const double flat_feature_scale_;
 
   struct Slot {
-    TopologyEntry entry;
+    EntryPtr entry;
     std::list<std::uint64_t>::iterator recency;
   };
+  mutable std::mutex mu_;
   std::map<std::uint64_t, Slot> entries_;
   std::list<std::uint64_t> recency_;  // most recent at front
   long hits_ = 0;

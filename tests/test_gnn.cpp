@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <deque>
 
 #include "gnn/graph_net.hpp"
 #include "nn/optimizer.hpp"
@@ -369,6 +370,156 @@ TEST(EncodeProcessDecode, SameModelRunsOnDifferentTopologies) {
     const GraphVars in = make_vars(tape, spec, 2, 1, 1, frng);
     const GraphVars out = net.forward(tape, spec, in);
     EXPECT_EQ(tape.value(out.edges).rows(), spec.num_edges()) << name;
+  }
+}
+
+// Stacks `batch` copies of per-copy inputs into the row layout
+// BatchedGraphSpec expects: copy b's rows at [b*N, (b+1)*N), but with
+// *different* values per copy so the test can tell copies apart.
+GraphVars make_stacked_vars(Tape& tape, const GraphSpec& base, int batch,
+                            int node_dim, int edge_dim, int global_dim,
+                            std::vector<GraphVars>& per_copy,
+                            std::deque<Tape>& copy_tapes, util::Rng& rng) {
+  Tensor nodes(base.num_nodes * batch, node_dim);
+  Tensor edges(base.num_edges() * batch, edge_dim);
+  Tensor globals(batch, global_dim);
+  for (float& v : nodes.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  for (float& v : edges.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  for (float& v : globals.data()) v = static_cast<float>(rng.uniform(-1, 1));
+
+  copy_tapes.resize(static_cast<size_t>(batch));
+  per_copy.clear();
+  for (int b = 0; b < batch; ++b) {
+    Tensor n(base.num_nodes, node_dim);
+    Tensor e(base.num_edges(), edge_dim);
+    Tensor g(1, global_dim);
+    for (int r = 0; r < base.num_nodes; ++r) {
+      for (int c = 0; c < node_dim; ++c) {
+        n.at(r, c) = nodes.at(b * base.num_nodes + r, c);
+      }
+    }
+    for (int r = 0; r < base.num_edges(); ++r) {
+      for (int c = 0; c < edge_dim; ++c) {
+        e.at(r, c) = edges.at(b * base.num_edges() + r, c);
+      }
+    }
+    for (int c = 0; c < global_dim; ++c) g.at(0, c) = globals.at(b, c);
+    Tape& t = copy_tapes[static_cast<size_t>(b)];
+    per_copy.push_back(
+        GraphVars{t.constant(n), t.constant(e), t.constant(g)});
+  }
+  return GraphVars{tape.constant(nodes), tape.constant(edges),
+                   tape.constant(globals)};
+}
+
+void expect_rows_bit_identical(const Tensor& stacked, const Tensor& solo,
+                               int row_offset, const char* what) {
+  ASSERT_EQ(stacked.cols(), solo.cols());
+  for (int r = 0; r < solo.rows(); ++r) {
+    for (int c = 0; c < solo.cols(); ++c) {
+      // EXPECT_EQ on float demands exact bit-level agreement (NaN aside);
+      // approximate closeness would hide a reordered accumulation.
+      EXPECT_EQ(stacked.at(row_offset + r, c), solo.at(r, c))
+          << what << " row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(BatchedGraphSpec, StacksDisjointCopies) {
+  const GraphSpec base = GraphSpec::from(topo::abilene());
+  const BatchedGraphSpec bspec = BatchedGraphSpec::from(base, 3);
+  EXPECT_EQ(bspec.batch, 3);
+  EXPECT_EQ(bspec.base_nodes, base.num_nodes);
+  EXPECT_EQ(bspec.base_edges, base.num_edges());
+  EXPECT_EQ(bspec.spec.num_nodes, base.num_nodes * 3);
+  EXPECT_EQ(bspec.spec.num_edges(), base.num_edges() * 3);
+  for (int b = 0; b < 3; ++b) {
+    for (int e = 0; e < base.num_edges(); ++e) {
+      const auto idx = static_cast<size_t>(b * base.num_edges() + e);
+      EXPECT_EQ(bspec.spec.senders[idx],
+                base.senders[static_cast<size_t>(e)] + b * base.num_nodes);
+      EXPECT_EQ(bspec.spec.receivers[idx],
+                base.receivers[static_cast<size_t>(e)] + b * base.num_nodes);
+      EXPECT_EQ((*bspec.edge_graph_ids)[idx], b);
+    }
+    for (int n = 0; n < base.num_nodes; ++n) {
+      EXPECT_EQ((*bspec.node_graph_ids)[static_cast<size_t>(
+                    b * base.num_nodes + n)],
+                b);
+    }
+  }
+  EXPECT_THROW(BatchedGraphSpec::from(base, 0), std::invalid_argument);
+}
+
+// The serving engine's batched inference is only admissible because the
+// stacked forward is *bit-identical* per copy — a decision served from a
+// batch must not depend on who it shared the batch with.
+TEST(GnBlock, BatchedForwardBitIdenticalToPerCopyForwards) {
+  util::Rng rng(21);
+  GnBlockConfig cfg;
+  cfg.node_in = 3;
+  cfg.edge_in = 2;
+  cfg.global_in = 2;
+  cfg.node_out = 7;
+  cfg.edge_out = 5;
+  cfg.global_out = 4;
+  GnBlock block(cfg, rng);
+
+  const GraphSpec base = GraphSpec::from(topo::abilene());
+  const int batch = 4;
+  const BatchedGraphSpec bspec = BatchedGraphSpec::from(base, batch);
+
+  Tape stacked_tape;
+  std::vector<GraphVars> per_copy;
+  std::deque<Tape> copy_tapes;
+  util::Rng frng(22);
+  const GraphVars in =
+      make_stacked_vars(stacked_tape, base, batch, 3, 2, 2, per_copy,
+                        copy_tapes, frng);
+  const GraphVars out = block.forward_batched(stacked_tape, bspec, in);
+  const Tensor& nodes = stacked_tape.value(out.nodes);
+  const Tensor& edges = stacked_tape.value(out.edges);
+  const Tensor& globals = stacked_tape.value(out.globals);
+  ASSERT_EQ(globals.rows(), batch);
+
+  for (int b = 0; b < batch; ++b) {
+    Tape& t = copy_tapes[static_cast<size_t>(b)];
+    const GraphVars solo =
+        block.forward(t, base, per_copy[static_cast<size_t>(b)]);
+    expect_rows_bit_identical(nodes, t.value(solo.nodes),
+                              b * base.num_nodes, "nodes");
+    expect_rows_bit_identical(edges, t.value(solo.edges),
+                              b * base.num_edges(), "edges");
+    expect_rows_bit_identical(globals, t.value(solo.globals), b, "globals");
+  }
+}
+
+TEST(EncodeProcessDecode, BatchedForwardBitIdenticalToPerCopyForwards) {
+  util::Rng rng(23);
+  EncodeProcessDecodeConfig cfg;
+  cfg.node_in = 2;
+  cfg.steps = 3;
+  EncodeProcessDecode net(cfg, rng);
+
+  const GraphSpec base = GraphSpec::from(topo::nsfnet());
+  const int batch = 3;
+  const BatchedGraphSpec bspec = BatchedGraphSpec::from(base, batch);
+
+  Tape stacked_tape;
+  std::vector<GraphVars> per_copy;
+  std::deque<Tape> copy_tapes;
+  util::Rng frng(24);
+  const GraphVars in = make_stacked_vars(stacked_tape, base, batch, 2, 1, 1,
+                                         per_copy, copy_tapes, frng);
+  const GraphVars out = net.forward_batched(stacked_tape, bspec, in);
+  const Tensor& edges = stacked_tape.value(out.edges);
+
+  for (int b = 0; b < batch; ++b) {
+    Tape& t = copy_tapes[static_cast<size_t>(b)];
+    const GraphVars solo =
+        net.forward(t, base, per_copy[static_cast<size_t>(b)]);
+    expect_rows_bit_identical(edges, t.value(solo.edges),
+                              b * base.num_edges(), "decoded edges");
   }
 }
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -41,6 +42,17 @@ const std::uint64_t* find_counter(const Snapshot& snap,
     if (n == name) return &v;
   }
   return nullptr;
+}
+
+// Busy-waits until the steady clock has advanced by `us` so a ScopedTimer
+// span has a guaranteed minimum length.  A sleep would do the same job
+// but is banned in tests (tools/lint.py): sleeping for synchronisation
+// breeds flakes, and on the timer tests a spin additionally guarantees
+// the elapsed time regardless of scheduler granularity.
+void spin_at_least(std::chrono::microseconds us) {
+  const auto until = std::chrono::steady_clock::now() + us;
+  while (std::chrono::steady_clock::now() < until) {
+  }
 }
 
 // ---------------- registry semantics ----------------
@@ -84,6 +96,41 @@ TEST_F(ObsTest, HistogramBucketsAndOverflow) {
   EXPECT_DOUBLE_EQ(h.sum, 1008.5);
 }
 
+TEST_F(ObsTest, HistogramQuantileInterpolatesWithinBuckets) {
+  HistogramSnapshot h;
+  h.upper_bounds = {10.0, 20.0, 40.0};
+  h.counts = {10, 10, 0, 0};  // uniform mass over (0,10] and (10,20]
+  h.count = 20;
+
+  // Rank 10 (q=0.5) is the top of the first bucket; rank 15 (q=0.75) sits
+  // halfway through the second.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.75), 15.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 1.0), 20.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.0), 0.0);
+
+  // A rank in the +inf overflow bucket clamps to the largest finite bound
+  // instead of fabricating a value.
+  h.counts = {0, 0, 0, 5};
+  h.count = 5;
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 40.0);
+}
+
+TEST_F(ObsTest, HistogramQuantileRejectsDegenerateInput) {
+  HistogramSnapshot empty;
+  empty.upper_bounds = {1.0};
+  empty.counts = {0, 0};
+  EXPECT_TRUE(std::isnan(histogram_quantile(empty, 0.5)));
+
+  HistogramSnapshot h;
+  h.upper_bounds = {1.0};
+  h.counts = {1, 0};
+  h.count = 1;
+  EXPECT_TRUE(std::isnan(histogram_quantile(h, -0.1)));
+  EXPECT_TRUE(std::isnan(histogram_quantile(h, 1.1)));
+  EXPECT_FALSE(std::isnan(histogram_quantile(h, 0.99)));
+}
+
 TEST_F(ObsTest, ObserveWithoutDefinitionUsesDefaultBuckets) {
   observe("auto", 3.0);
   const Snapshot snap = Registry::instance().snapshot();
@@ -120,7 +167,7 @@ TEST_F(ObsTest, ResetDropsEverything) {
 TEST_F(ObsTest, ScopedTimerRecordsSpans) {
   for (int i = 0; i < 3; ++i) {
     ScopedTimer t("outer");
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    spin_at_least(std::chrono::microseconds(2000));
   }
   const Snapshot snap = Registry::instance().snapshot();
   ASSERT_EQ(snap.timers.size(), 1U);
@@ -134,10 +181,10 @@ TEST_F(ObsTest, ScopedTimerRecordsSpans) {
 TEST_F(ObsTest, NestedTimersRecordUnderBothLabels) {
   {
     ScopedTimer outer("train/update");
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    spin_at_least(std::chrono::microseconds(2000));
     {
       ScopedTimer inner("train/update/backward");
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      spin_at_least(std::chrono::microseconds(2000));
     }
   }
   const Snapshot snap = Registry::instance().snapshot();
@@ -155,7 +202,7 @@ TEST_F(ObsTest, NestedTimersRecordUnderBothLabels) {
 
 TEST_F(ObsTest, StopIsIdempotentAndReturnsSeconds) {
   ScopedTimer t("once");
-  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  spin_at_least(std::chrono::microseconds(1000));
   const double first = t.stop();
   EXPECT_GT(first, 0.0);
   EXPECT_EQ(t.stop(), 0.0);

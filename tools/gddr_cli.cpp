@@ -27,15 +27,33 @@
 //                                         N onward (1-based)
 //       [--heal-at M]                     restore it from request M onward
 //       [--fail-links K]                  degrade by removing K random links
-//       [--isolate V]                     degrade by removing every link
-//                                         leaving node V (makes (V,*)
-//                                         demand unroutable)
+//       [--isolate V]                     degrade the topology by removing
+//                                         every link leaving node V (makes
+//                                         (V,*) demand unroutable)
+//   gddr_cli serve-bench <topology> [requests]
+//                                         drive the concurrent serving
+//                                         engine (serve::Engine) with a
+//                                         paced open-loop request stream
+//                                         and report throughput, shed
+//                                         counts and latency quantiles
+//       [--qps Q]                         offered request rate (0 = unpaced)
+//       [--batch B]                       micro-batch limit per GNN forward
+//       [--shed-policy P]                 expired-first | reject-newest
+//       [--queue-cap C]                   admission queue capacity
+//       [--queue-deadline-us D]           per-request queueing deadline
+//                                         (0 = none)
+//       [--seed S] [--policy file]
+//       [--json path]                     write a gddr.serve_bench.v1
+//                                         summary for CI smoke checks
 //
 // All commands accept --workers N (default: hardware concurrency) to size
 // the thread pool used by parallel evaluation, plus --metrics <path>
 // [--metrics-every N] to stream per-iteration "gddr.metrics.v1" JSONL
 // telemetry and print an end-of-run summary table (DESIGN.md §7).  The
 // GDDR_METRICS environment variable does the same without flags.
+// serve-bench reuses the same --workers value as the engine's worker
+// thread count, so `gddr_cli serve-bench Abilene --workers 4` serves with
+// four engine workers.
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage, 3 solver failure
 // (util::SolverError), 4 I/O failure (util::IoError); serve-sim adds
@@ -51,19 +69,25 @@
 // gddr-topology file (see src/topo/io.hpp).
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
+#include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/evaluate.hpp"
 #include "core/experiment.hpp"
 #include "graph/algorithms.hpp"
 #include "nn/serialize.hpp"
+#include "serve/engine.hpp"
 #include "serve/router.hpp"
 #include "mcf/mean_util.hpp"
 #include "mcf/optimal.hpp"
+#include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "routing/baselines.hpp"
 #include "routing/forwarding.hpp"
@@ -73,12 +97,15 @@
 #include "traffic/generators.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/fs.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace gddr;
+
+int usage();
 
 graph::DiGraph resolve_topology(const std::string& spec) {
   for (const auto& name : topo::catalogue_names()) {
@@ -438,6 +465,190 @@ int cmd_serve_sim(const ServeSimArgs& args) {
   return 0;
 }
 
+struct ServeBenchArgs {
+  std::string topology;
+  long requests = 200;
+  std::uint64_t seed = 1;
+  long qps = 0;                // 0 = submit as fast as possible
+  int batch = 8;
+  std::string shed_policy = "expired-first";
+  long queue_cap = 256;
+  long queue_deadline_us = 0;  // 0 = requests never expire in the queue
+  std::string policy_path;
+  std::string json_path;
+};
+
+// Quantile as a JSON scalar: NaN (empty histogram) renders as null so a
+// consumer asserting "p99 is a number" fails exactly when nothing was
+// served.
+std::string json_quantile(double value) {
+  if (std::isnan(value)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", value);
+  return buffer;
+}
+
+int cmd_serve_bench(const ServeBenchArgs& args, int workers) {
+  const auto g = resolve_topology(args.topology);
+
+  core::GnnPolicyConfig pcfg = core::experiment_gnn_config(5);
+  util::Rng policy_rng(args.seed + 17);
+  core::GnnPolicy policy(pcfg, policy_rng);
+  if (!args.policy_path.empty()) {
+    nn::load_parameters(args.policy_path, policy.parameters());
+  }
+
+  serve::EngineConfig ecfg;
+  ecfg.workers = workers;
+  ecfg.queue_capacity = static_cast<std::size_t>(args.queue_cap);
+  ecfg.max_batch = args.batch;
+  if (!serve::parse_shed_policy(args.shed_policy, ecfg.shed_policy)) {
+    std::fprintf(stderr, "serve-bench: unknown shed policy '%s'\n",
+                 args.shed_policy.c_str());
+    return usage();
+  }
+  ecfg.queue_deadline = std::chrono::microseconds(args.queue_deadline_us);
+  ecfg.router.deadline = std::chrono::seconds(5);  // generous: CI boxes crawl
+
+  // The engine's latency/batch histograms need serving-scale buckets; the
+  // first definition wins, so install them before any request is served.
+  obs::Registry& registry = obs::Registry::instance();
+  registry.enable();
+  registry.define_histogram(
+      "serve/engine/latency_us",
+      {50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0, 20000.0,
+       50000.0, 100000.0, 200000.0, 500000.0, 1000000.0, 5000000.0});
+  registry.define_histogram("serve/engine/batch_size",
+                            {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0,
+                             32.0, 64.0});
+
+  // Pre-generate the demand stream so matrix generation is outside the
+  // timed window.
+  traffic::BimodalParams dparams;
+  dparams.pair_density = 0.3;
+  util::Rng rng(args.seed);
+  std::vector<traffic::DemandMatrix> demands;
+  demands.reserve(static_cast<std::size_t>(args.requests));
+  for (long i = 0; i < args.requests; ++i) {
+    demands.push_back(traffic::bimodal_matrix(g.num_nodes(), dparams, rng));
+  }
+
+  serve::Engine engine(&policy, ecfg);
+  std::vector<std::future<serve::ServeOutcome>> futures;
+  futures.reserve(static_cast<std::size_t>(args.requests));
+  traffic::DemandSequence history;
+  const auto start = std::chrono::steady_clock::now();
+  const auto period =
+      args.qps > 0 ? std::chrono::nanoseconds(1'000'000'000 / args.qps)
+                   : std::chrono::nanoseconds(0);
+  for (long i = 0; i < args.requests; ++i) {
+    if (args.qps > 0) std::this_thread::sleep_until(start + period * i);
+    serve::RouteRequest request;
+    request.graph = &g;
+    request.demand = demands[static_cast<std::size_t>(i)];
+    request.history = history;
+    futures.push_back(engine.submit(std::move(request)));
+    history.push_back(demands[static_cast<std::size_t>(i)]);
+    if (static_cast<int>(history.size()) > ecfg.router.memory) {
+      history.erase(history.begin());
+    }
+  }
+  engine.shutdown();
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  // Every future must resolve: served or shed, never abandoned.
+  long served = 0;
+  long shed = 0;
+  for (auto& future : futures) {
+    if (future.get().shed) {
+      ++shed;
+    } else {
+      ++served;
+    }
+  }
+
+  const serve::EngineStats stats = engine.stats();
+  const bool conserved = stats.offered == args.requests &&
+                         stats.offered == stats.served + stats.shed &&
+                         stats.served == served && stats.shed == shed;
+
+  double p50 = std::numeric_limits<double>::quiet_NaN();
+  double p99 = std::numeric_limits<double>::quiet_NaN();
+  double mean_batch = 0.0;
+  const obs::Snapshot snap = registry.snapshot();
+  for (const auto& [name, h] : snap.histograms) {
+    if (name == "serve/engine/latency_us") {
+      p50 = obs::histogram_quantile(h, 0.5);
+      p99 = obs::histogram_quantile(h, 0.99);
+    } else if (name == "serve/engine/batch_size" && h.count > 0) {
+      mean_batch = h.sum / static_cast<double>(h.count);
+    }
+  }
+
+  const double throughput =
+      elapsed > 0.0 ? static_cast<double>(served) / elapsed : 0.0;
+  std::printf("%s: %ld requests, %d worker(s), batch limit %d, "
+              "%s shedding, qps %s\n",
+              g.name().c_str(), args.requests, ecfg.workers, ecfg.max_batch,
+              serve::shed_policy_name(ecfg.shed_policy),
+              args.qps > 0 ? std::to_string(args.qps).c_str() : "unpaced");
+  util::Table table({"metric", "value"});
+  table.add_row({"offered", std::to_string(stats.offered)});
+  table.add_row({"served", std::to_string(stats.served)});
+  table.add_row({"shed", std::to_string(stats.shed)});
+  table.add_row({"batches", std::to_string(stats.batches)});
+  table.add_row({"mean batch size", util::fmt(mean_batch, 2)});
+  table.add_row({"throughput (req/s)", util::fmt(throughput, 1)});
+  table.add_row({"p50 latency (us)",
+                 std::isnan(p50) ? "n/a" : util::fmt(p50, 1)});
+  table.add_row({"p99 latency (us)",
+                 std::isnan(p99) ? "n/a" : util::fmt(p99, 1)});
+  table.print();
+  const serve::RouterStats& rst = engine.router_stats();
+  util::Table rungs({"rung", "decisions"});
+  for (int r = 0; r < static_cast<int>(serve::Rung::kRungCount); ++r) {
+    rungs.add_row({serve::rung_name(static_cast<serve::Rung>(r)),
+                   std::to_string(rst.rung_decisions[r])});
+  }
+  rungs.print();
+  const serve::CircuitBreaker::Stats& br = engine.breaker().stats();
+  std::printf("breaker: %s (%ld trips, %ld probes, %ld recoveries); "
+              "topology cache: %zu entries, %ld hits, %ld misses\n",
+              serve::to_string(engine.breaker().state()), br.trips, br.probes,
+              br.recoveries, engine.topology_cache().size(),
+              engine.topology_cache().hits(),
+              engine.topology_cache().misses());
+  if (!conserved) {
+    std::fprintf(stderr,
+                 "serve-bench: conservation violated: offered %ld != "
+                 "served %ld + shed %ld\n",
+                 stats.offered, stats.served, stats.shed);
+  }
+
+  if (!args.json_path.empty()) {
+    char buffer[768];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "{\"schema\": \"gddr.serve_bench.v1\", \"topology\": \"%s\", "
+        "\"workers\": %d, \"batch\": %d, \"qps\": %ld, "
+        "\"shed_policy\": \"%s\", \"offered\": %ld, \"served\": %ld, "
+        "\"shed\": %ld, \"batches\": %ld, \"mean_batch_size\": %.2f, "
+        "\"throughput_rps\": %.1f, \"p50_latency_us\": %s, "
+        "\"p99_latency_us\": %s, \"breaker_trips\": %ld, "
+        "\"conserved\": %s}\n",
+        g.name().c_str(), ecfg.workers, ecfg.max_batch, args.qps,
+        serve::shed_policy_name(ecfg.shed_policy), stats.offered,
+        stats.served, stats.shed, stats.batches, mean_batch, throughput,
+        json_quantile(p50).c_str(), json_quantile(p99).c_str(), br.trips,
+        conserved ? "true" : "false");
+    util::write_file_atomic(args.json_path, buffer);
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
+  return conserved ? 0 : 1;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: gddr_cli [--workers N] [--metrics path "
@@ -455,6 +666,13 @@ int usage() {
                "[--deadline-us N] [--gamma G] [--policy file]\n"
                "            [--fail-at N] [--heal-at M] [--fail-links K] "
                "[--isolate V]\n"
+               "  serve-bench <topology> [requests] [--qps Q] [--batch B]\n"
+               "            [--shed-policy expired-first|reject-newest] "
+               "[--queue-cap C]\n"
+               "            [--queue-deadline-us D] [--seed S] "
+               "[--policy file] [--json path]\n"
+               "            (--workers N also sets the engine's worker "
+               "thread count)\n"
                "<topology> is a catalogue name (see 'topos') or a "
                "gddr-topology file path.\n"
                "exit codes: 0 ok, 1 error, 2 usage, 3 solver, 4 I/O,\n"
@@ -464,7 +682,7 @@ int usage() {
 }
 
 int run(int argc, char** argv, util::ThreadPool& pool,
-        const obs::MetricsOptions& metrics) {
+        const obs::MetricsOptions& metrics, int workers) {
   const std::string command = argv[1];
   if (command == "topos") return cmd_topos();
   if (command == "show" && argc >= 3) return cmd_show(argv[2]);
@@ -553,6 +771,45 @@ int run(int argc, char** argv, util::ThreadPool& pool,
     }
     return cmd_serve_sim(args);
   }
+  if (command == "serve-bench" && argc >= 3) {
+    ServeBenchArgs args;
+    args.topology = argv[2];
+    int i = 3;
+    if (i < argc && argv[i][0] != '-') {
+      args.requests = std::strtol(argv[i], nullptr, 10);
+      if (args.requests <= 0) return usage();
+      ++i;
+    }
+    for (; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (i + 1 >= argc) return usage();
+      const char* value = argv[++i];
+      if (flag == "--seed") {
+        args.seed = std::strtoull(value, nullptr, 10);
+      } else if (flag == "--qps") {
+        args.qps = std::strtol(value, nullptr, 10);
+        if (args.qps < 0) return usage();
+      } else if (flag == "--batch") {
+        args.batch = static_cast<int>(std::strtol(value, nullptr, 10));
+        if (args.batch <= 0) return usage();
+      } else if (flag == "--shed-policy") {
+        args.shed_policy = value;
+      } else if (flag == "--queue-cap") {
+        args.queue_cap = std::strtol(value, nullptr, 10);
+        if (args.queue_cap <= 0) return usage();
+      } else if (flag == "--queue-deadline-us") {
+        args.queue_deadline_us = std::strtol(value, nullptr, 10);
+        if (args.queue_deadline_us < 0) return usage();
+      } else if (flag == "--policy") {
+        args.policy_path = value;
+      } else if (flag == "--json") {
+        args.json_path = value;
+      } else {
+        return usage();
+      }
+    }
+    return cmd_serve_bench(args, workers);
+  }
   return usage();
 }
 
@@ -578,7 +835,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
     util::ThreadPool pool(workers);
-    return run(argc, argv, pool, metrics);
+    return run(argc, argv, pool, metrics, workers);
   } catch (const util::IoError& ex) {
     std::fprintf(stderr, "I/O error: %s\n", ex.what());
     return 4;

@@ -11,7 +11,12 @@ Checks conventions clang-tidy cannot express:
     to tools/ and bench/; libraries report through return values,
     exceptions and obs:: metrics;
   * no `using namespace std;` anywhere;
-  * headers start with `#pragma once`.
+  * headers start with `#pragma once`;
+  * no std::this_thread::sleep_for/sleep_until in tests/ — sleeping to
+    synchronise with another thread breeds flaky tests; inject time
+    points (CircuitBreaker, DeadlineBudget, serve::Engine all take `now`
+    as a parameter) or busy-wait on the condition itself (spin_until /
+    spin_at_least helpers).
 
 Exit status: 0 clean, 1 findings, 2 usage error.  Run from the repo root:
 
@@ -52,6 +57,7 @@ NAKED_RAND_RE = re.compile(r"(?<![\w:])(?:s?rand|rand_r)\s*\(")
 NAKED_TIME_RE = re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)")
 STDOUT_RE = re.compile(r"std\s*::\s*(cout|cerr)\b|(?<![\w:])f?printf\s*\(")
 USING_STD_RE = re.compile(r"using\s+namespace\s+std\s*;")
+TEST_SLEEP_RE = re.compile(r"sleep_(?:for|until)\s*\(")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"])([^">]+)[">]', re.MULTILINE)
 
 
@@ -98,6 +104,12 @@ def lint_file(path: Path, roots: set[str]) -> list[str]:
         for m in STDOUT_RE.finditer(text):
             emit(m.start(), "stdout/stderr output in library code: "
                             "report via exceptions or obs:: metrics")
+
+    if rel.parts[0] == "tests":
+        for m in TEST_SLEEP_RE.finditer(text):
+            emit(m.start(), "sleep in a test: inject time points or "
+                            "spin on the condition instead "
+                            "(sleep-based schedules are flaky)")
 
     return findings
 
