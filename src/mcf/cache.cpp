@@ -48,7 +48,7 @@ OptimalCache::OptimalCache(std::size_t capacity)
     : capacity_(capacity > 0 ? capacity : 1) {}
 
 OptimalCache::OptimalCache(const OptimalCache& other) {
-  const std::lock_guard<std::mutex> lock(other.mutex_);
+  const util::MutexLock lock(other.mutex_);
   capacity_ = other.capacity_;
   cache_ = other.cache_;
   mean_cache_ = other.mean_cache_;
@@ -69,7 +69,7 @@ OptimalCache::OptimalCache(const OptimalCache& other) {
 OptimalCache& OptimalCache::operator=(const OptimalCache& other) {
   if (this == &other) return *this;
   OptimalCache copy(other);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   capacity_ = copy.capacity_;
   cache_ = std::move(copy.cache_);
   mean_cache_ = std::move(copy.mean_cache_);
@@ -90,8 +90,9 @@ std::uint64_t OptimalCache::key_for(const graph::DiGraph& g,
   return key;
 }
 
-bool OptimalCache::lookup(LruMap& lru, std::uint64_t key, double& value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+bool OptimalCache::lookup(Which which, std::uint64_t key, double& value) {
+  const util::MutexLock lock(mutex_);
+  LruMap& lru = lru_locked(which);
   const auto it = lru.map.find(key);
   if (it == lru.map.end()) {
     ++misses_;
@@ -105,8 +106,9 @@ bool OptimalCache::lookup(LruMap& lru, std::uint64_t key, double& value) {
   return true;
 }
 
-void OptimalCache::insert(LruMap& lru, std::uint64_t key, double value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+void OptimalCache::insert(Which which, std::uint64_t key, double value) {
+  const util::MutexLock lock(mutex_);
+  LruMap& lru = lru_locked(which);
   if (lru.map.find(key) != lru.map.end()) return;  // lost a benign race
   while (lru.map.size() >= capacity_) {
     lru.map.erase(lru.order.back());
@@ -119,35 +121,35 @@ void OptimalCache::insert(LruMap& lru, std::uint64_t key, double value) {
 }
 
 template <typename Solver>
-double OptimalCache::lookup_or_solve(LruMap& lru, const graph::DiGraph& g,
+double OptimalCache::lookup_or_solve(Which which, const graph::DiGraph& g,
                                      const traffic::DemandMatrix& dm,
                                      const Solver& solver) {
   const std::uint64_t key = key_for(g, dm);
   double value = 0.0;
-  if (lookup(lru, key, value)) return value;
+  if (lookup(which, key, value)) return value;
   {
     obs::ScopedTimer solve_timer("mcf/solve");
     value = solver();  // LP runs outside the lock
   }
-  insert(lru, key, value);
+  insert(which, key, value);
   return value;
 }
 
 double OptimalCache::mean_util(const graph::DiGraph& g,
                                const traffic::DemandMatrix& dm) {
-  return lookup_or_solve(mean_cache_, g, dm,
+  return lookup_or_solve(Which::kMeanUtil, g, dm,
                          [&] { return min_mean_utilisation(g, dm); });
 }
 
 double OptimalCache::u_max(const graph::DiGraph& g,
                            const traffic::DemandMatrix& dm) {
-  return lookup_or_solve(cache_, g, dm, [&] {
+  return lookup_or_solve(Which::kUmax, g, dm, [&] {
     const OptimalResult result = solve_optimal(g, dm);
     if (result.provenance == SolveProvenance::kFailed) {
       throw util::SolverError("OptimalCache: LP infeasible/unsolved");
     }
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       if (result.provenance == SolveProvenance::kExact) {
         ++exact_solves_;
         obs::count("mcf/solve/exact");
@@ -161,37 +163,37 @@ double OptimalCache::u_max(const graph::DiGraph& g,
 }
 
 std::size_t OptimalCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return cache_.map.size() + mean_cache_.map.size();
 }
 
 std::size_t OptimalCache::hits() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return hits_;
 }
 
 std::size_t OptimalCache::misses() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return misses_;
 }
 
 std::size_t OptimalCache::evictions() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return evictions_;
 }
 
 std::size_t OptimalCache::exact_solves() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return exact_solves_;
 }
 
 std::size_t OptimalCache::approx_solves() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return approx_solves_;
 }
 
 void OptimalCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   cache_.map.clear();
   cache_.order.clear();
   mean_cache_.map.clear();

@@ -17,11 +17,11 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
 #include "graph/digraph.hpp"
 #include "traffic/demand.hpp"
+#include "util/sync.hpp"
 
 namespace gddr::mcf {
 
@@ -42,7 +42,11 @@ class OptimalCache {
 
   // Copying shares no state; each copy starts from the source's entries.
   OptimalCache(const OptimalCache& other);
-  OptimalCache& operator=(const OptimalCache& other);
+  // The thread-safety analysis is disabled here: the function-local copy
+  // it reads from is unshared by construction, and locking its mutex as
+  // well would trip the rank detector (two kOptimalCache locks).
+  OptimalCache& operator=(const OptimalCache& other)
+      GDDR_NO_THREAD_SAFETY_ANALYSIS;
 
   // Optimal U_max for (g, dm), computed on first use via solve_optimal.
   // A simplex breakdown degrades to the FPTAS (see mcf::SolveOptions)
@@ -84,25 +88,38 @@ class OptimalCache {
   std::uint64_t key_for(const graph::DiGraph& g,
                         const traffic::DemandMatrix& dm) const;
 
+  // Selects one of the two independently bounded LRU maps.  Passing the
+  // map itself by reference would hand out an unchecked alias to a
+  // guarded member (clang's -Wthread-safety-reference rejects it), so the
+  // helpers take this tag and resolve it under the lock instead.
+  enum class Which { kUmax, kMeanUtil };
+
+  LruMap& lru_locked(Which which) GDDR_REQUIRES(mutex_) {
+    return which == Which::kUmax ? cache_ : mean_cache_;
+  }
+
   // Returns true and fills `value` on a hit (refreshing recency).
-  bool lookup(LruMap& lru, std::uint64_t key, double& value);
+  bool lookup(Which which, std::uint64_t key, double& value)
+      GDDR_EXCLUDES(mutex_);
   // Inserts (evicting the LRU entry when at capacity); idempotent.
-  void insert(LruMap& lru, std::uint64_t key, double value);
+  void insert(Which which, std::uint64_t key, double value)
+      GDDR_EXCLUDES(mutex_);
 
   template <typename Solver>
-  double lookup_or_solve(LruMap& lru, const graph::DiGraph& g,
+  double lookup_or_solve(Which which, const graph::DiGraph& g,
                          const traffic::DemandMatrix& dm,
                          const Solver& solver);
 
   std::size_t capacity_;
-  mutable std::mutex mutex_;
-  LruMap cache_;
-  LruMap mean_cache_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t evictions_ = 0;
-  std::size_t exact_solves_ = 0;
-  std::size_t approx_solves_ = 0;
+  mutable util::Mutex mutex_{util::LockRank::kOptimalCache,
+                             "mcf/optimal_cache"};
+  LruMap cache_ GDDR_GUARDED_BY(mutex_);
+  LruMap mean_cache_ GDDR_GUARDED_BY(mutex_);
+  std::size_t hits_ GDDR_GUARDED_BY(mutex_) = 0;
+  std::size_t misses_ GDDR_GUARDED_BY(mutex_) = 0;
+  std::size_t evictions_ GDDR_GUARDED_BY(mutex_) = 0;
+  std::size_t exact_solves_ GDDR_GUARDED_BY(mutex_) = 0;
+  std::size_t approx_solves_ GDDR_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace gddr::mcf

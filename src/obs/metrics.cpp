@@ -40,7 +40,7 @@ std::string Registry::env_metrics_path() {
 }
 
 void Registry::add_counter(std::string_view name, std::uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), delta);
@@ -50,7 +50,7 @@ void Registry::add_counter(std::string_view name, std::uint64_t delta) {
 }
 
 void Registry::set_gauge(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), value);
@@ -69,7 +69,7 @@ const std::vector<double>& Registry::default_buckets() {
 void Registry::define_histogram(std::string_view name,
                                 std::vector<double> upper_bounds) {
   std::sort(upper_bounds.begin(), upper_bounds.end());
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it != histograms_.end()) return;  // first definition wins
   HistogramStat stat;
@@ -79,7 +79,7 @@ void Registry::define_histogram(std::string_view name,
 }
 
 void Registry::observe(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     HistogramStat stat;
@@ -96,7 +96,7 @@ void Registry::observe(std::string_view name, double value) {
 }
 
 void Registry::record_span(std::string_view label, double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto it = timers_.find(label);
   if (it == timers_.end()) {
     TimerStat stat;
@@ -113,13 +113,13 @@ void Registry::record_span(std::string_view label, double seconds) {
 }
 
 std::uint64_t Registry::counter(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 Snapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   Snapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, value] : counters_) snap.counters.emplace_back(name, value);
@@ -147,7 +147,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   counters_.clear();
   gauges_.clear();
   timers_.clear();

@@ -40,11 +40,12 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace gddr::obs {
 
@@ -110,25 +111,28 @@ class Registry {
 
   // Unconditional recording (callers normally go through the enabled()-
   // gated free helpers below).
-  void add_counter(std::string_view name, std::uint64_t delta = 1);
-  void set_gauge(std::string_view name, double value);
+  void add_counter(std::string_view name, std::uint64_t delta = 1)
+      GDDR_EXCLUDES(mutex_);
+  void set_gauge(std::string_view name, double value) GDDR_EXCLUDES(mutex_);
   // Defines a histogram's finite bucket upper bounds; idempotent (the
   // first definition wins).  observe() on an undefined name creates it
   // with kDefaultBuckets.
   void define_histogram(std::string_view name,
-                        std::vector<double> upper_bounds);
-  void observe(std::string_view name, double value);
-  void record_span(std::string_view label, double seconds);
+                        std::vector<double> upper_bounds)
+      GDDR_EXCLUDES(mutex_);
+  void observe(std::string_view name, double value) GDDR_EXCLUDES(mutex_);
+  void record_span(std::string_view label, double seconds)
+      GDDR_EXCLUDES(mutex_);
 
   // Current value of one counter; 0 when it has never been incremented.
   // Cheaper than snapshot() for tests and benches asserting on a single
   // metric.
-  std::uint64_t counter(std::string_view name) const;
+  std::uint64_t counter(std::string_view name) const GDDR_EXCLUDES(mutex_);
 
-  Snapshot snapshot() const;
+  Snapshot snapshot() const GDDR_EXCLUDES(mutex_);
   // Drops every metric (counters restart from zero); the enabled flag is
   // untouched.
-  void reset();
+  void reset() GDDR_EXCLUDES(mutex_);
 
   static const std::vector<double>& default_buckets();
 
@@ -148,11 +152,17 @@ class Registry {
     double sum = 0.0;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::uint64_t, std::less<>> counters_;
-  std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, TimerStat, std::less<>> timers_;
-  std::map<std::string, HistogramStat, std::less<>> histograms_;
+  // obs/registry is the innermost rank of the lock table (DESIGN.md §13):
+  // the caches, breaker and fault injector all export counters while
+  // holding their own lock, so nothing may nest inside this one.
+  mutable util::Mutex mutex_{util::LockRank::kRegistry, "obs/registry"};
+  std::map<std::string, std::uint64_t, std::less<>> counters_
+      GDDR_GUARDED_BY(mutex_);
+  std::map<std::string, double, std::less<>> gauges_ GDDR_GUARDED_BY(mutex_);
+  std::map<std::string, TimerStat, std::less<>> timers_
+      GDDR_GUARDED_BY(mutex_);
+  std::map<std::string, HistogramStat, std::less<>> histograms_
+      GDDR_GUARDED_BY(mutex_);
 };
 
 // The enabled probe every hot path uses: one inlined relaxed atomic

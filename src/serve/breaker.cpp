@@ -58,7 +58,7 @@ CircuitBreaker::CircuitBreaker(const CircuitBreakerConfig& config)
 }
 
 CircuitBreaker::Probe CircuitBreaker::admit(Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   if (state() == BreakerState::kHalfOpen) {
     expire_dead_probe_locked(now);
   }
@@ -86,7 +86,7 @@ CircuitBreaker::Probe CircuitBreaker::admit(Clock::time_point now) {
 
 void CircuitBreaker::report(std::uint64_t generation, bool success,
                             Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   if (generation != generation_) {
     // A verdict from before the last transition: a pre-trip request
     // finishing late, or a timed-out probe finally reporting.  Acting on

@@ -28,7 +28,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace gddr::serve {
 
@@ -104,7 +105,7 @@ class CircuitBreaker {
   // half-open, exactly one probe).  Half-open: disengaged — unless the
   // in-flight probe is past its timeout, in which case it is presumed
   // dead and the open-state rules apply afresh.
-  Probe admit(Clock::time_point now);
+  Probe admit(Clock::time_point now) GDDR_EXCLUDES(mu_);
 
   BreakerState state() const {
     return static_cast<BreakerState>(
@@ -121,28 +122,30 @@ class CircuitBreaker {
   };
   // Returns a copy: the breaker is shared across workers, so a reference
   // into live state would race with concurrent verdicts.
-  Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  Stats stats() const GDDR_EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     return stats_;
   }
 
  private:
-  // All three take mu_.
-  void report(std::uint64_t generation, bool success, Clock::time_point now);
-  void open_locked(Clock::time_point now);
-  void expire_dead_probe_locked(Clock::time_point now);
+  // report() takes mu_ itself; the *_locked helpers require it held.
+  void report(std::uint64_t generation, bool success, Clock::time_point now)
+      GDDR_EXCLUDES(mu_);
+  void open_locked(Clock::time_point now) GDDR_REQUIRES(mu_);
+  void expire_dead_probe_locked(Clock::time_point now) GDDR_REQUIRES(mu_);
 
   const CircuitBreakerConfig config_;
-  mutable std::mutex mu_;
-  // Mirrors the mutex-guarded state for lock-free state() readers.
+  mutable util::Mutex mu_{util::LockRank::kCircuitBreaker, "serve/breaker"};
+  // Mirrors the mutex-guarded state for lock-free state() readers; written
+  // only with mu_ held, read anywhere (hence atomic, not guarded).
   std::atomic<int> state_{static_cast<int>(BreakerState::kClosed)};
   // Bumped on every state transition; verdicts from an earlier generation
   // (pre-trip requests, timed-out probes) are discarded as stale.
-  std::uint64_t generation_ = 0;
-  std::chrono::microseconds backoff_;
-  Clock::time_point open_until_{};
-  Clock::time_point probe_deadline_{};
-  Stats stats_;
+  std::uint64_t generation_ GDDR_GUARDED_BY(mu_) = 0;
+  std::chrono::microseconds backoff_ GDDR_GUARDED_BY(mu_);
+  Clock::time_point open_until_ GDDR_GUARDED_BY(mu_) = {};
+  Clock::time_point probe_deadline_ GDDR_GUARDED_BY(mu_) = {};
+  Stats stats_ GDDR_GUARDED_BY(mu_);
 };
 
 }  // namespace gddr::serve

@@ -53,6 +53,8 @@ Engine::Engine(rl::Policy* policy, EngineConfig config)
                                                       cache_, breaker_));
   }
   if (config_.workers == 0) {
+    // Constructor: no concurrent access yet, lifecycle_mu_ not needed
+    // (and clang's analysis exempts constructors for the same reason).
     inline_batcher_.emplace(queue_, config_.max_batch);
   } else {
     threads_.reserve(static_cast<std::size_t>(config_.workers));
@@ -97,12 +99,15 @@ std::future<ServeOutcome> Engine::submit(RouteRequest request) {
 }
 
 void Engine::poll() {
-  if (config_.workers == 0) drain_inline();
+  if (config_.workers != 0) return;
+  const util::MutexLock lock(lifecycle_mu_);
+  drain_inline();
 }
 
 void Engine::shutdown() {
   if (stopped_.exchange(true)) return;
   queue_.close();
+  const util::MutexLock lock(lifecycle_mu_);
   for (std::thread& t : threads_) t.join();
   threads_.clear();
   if (config_.workers == 0) drain_inline();

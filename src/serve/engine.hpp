@@ -47,6 +47,7 @@
 #include "serve/batcher.hpp"
 #include "serve/router.hpp"
 #include "util/mpmc_queue.hpp"
+#include "util/sync.hpp"
 
 namespace gddr::serve {
 
@@ -103,18 +104,23 @@ class Engine {
 
   // Inline mode only: serves every job currently queued (in micro-
   // batches) on the calling thread.  No-op when worker threads exist.
-  void poll();
+  void poll() GDDR_EXCLUDES(lifecycle_mu_);
 
   // Closes the queue, serves every already-admitted job, and joins the
   // workers.  Idempotent; also run by the destructor.
-  void shutdown();
+  void shutdown() GDDR_EXCLUDES(lifecycle_mu_);
 
   EngineStats stats() const;
 
-  // Per-worker RouterStats summed over the fleet.  Only meaningful
+  // Per-worker RouterStats summed over the fleet, by value: shutdown()
+  // writes the aggregate concurrently with callers polling it, so a
+  // reference into the member would be a data race.  Only meaningful
   // after shutdown(); returns zeros while workers are still running
   // (worker stats are unsynchronised by design).
-  const RouterStats& router_stats() const { return router_stats_; }
+  RouterStats router_stats() const GDDR_EXCLUDES(lifecycle_mu_) {
+    const util::MutexLock lock(lifecycle_mu_);
+    return router_stats_;
+  }
 
   const CircuitBreaker& breaker() const { return *breaker_; }
   const TopologyCache& topology_cache() const { return *cache_; }
@@ -124,7 +130,7 @@ class Engine {
   using Clock = std::chrono::steady_clock;
 
   void worker_loop(int index);
-  void drain_inline();
+  void drain_inline() GDDR_REQUIRES(lifecycle_mu_);
   void process_batch(RobustRouter& router, std::vector<Job> batch);
   void shed_job(Job& job);
 
@@ -133,16 +139,22 @@ class Engine {
   std::shared_ptr<CircuitBreaker> breaker_;
   std::vector<std::unique_ptr<RobustRouter>> routers_;
   util::MpmcQueue<Job> queue_;
+  // Serialises lifecycle transitions and inline-mode serving: poll(),
+  // shutdown() and router_stats() may race (two threads polling an
+  // inline engine would both drain inline_batcher_; a stats poll during
+  // shutdown would read router_stats_ mid-aggregation).  Outermost rank:
+  // drain_inline touches the queue, caches and breaker under it.
+  mutable util::Mutex lifecycle_mu_{util::LockRank::kEngine, "serve/engine"};
   // Inline mode only: persistent so a held-back lookahead job (see
   // Batcher::pending_) survives across submit() calls.
-  std::optional<Batcher> inline_batcher_;
-  std::vector<std::thread> threads_;
+  std::optional<Batcher> inline_batcher_ GDDR_GUARDED_BY(lifecycle_mu_);
+  std::vector<std::thread> threads_ GDDR_GUARDED_BY(lifecycle_mu_);
   std::atomic<bool> stopped_{false};
   std::atomic<long> offered_{0};
   std::atomic<long> shed_{0};
   std::atomic<long> served_{0};
   std::atomic<long> batches_{0};
-  RouterStats router_stats_;
+  RouterStats router_stats_ GDDR_GUARDED_BY(lifecycle_mu_);
 };
 
 }  // namespace gddr::serve

@@ -30,7 +30,7 @@ TopologyCache::TopologyCache(std::size_t capacity,
 TopologyCache::EntryPtr TopologyCache::acquire(const graph::DiGraph& g) {
   const std::uint64_t key = mcf::graph_fingerprint(g);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     if (const auto it = entries_.find(key); it != entries_.end()) {
       ++hits_;
       recency_.splice(recency_.begin(), recency_, it->second.recency);
@@ -45,7 +45,7 @@ TopologyCache::EntryPtr TopologyCache::acquire(const graph::DiGraph& g) {
   // cached topologies are not stalled behind it.
   EntryPtr built = build_entry(g, key);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   if (const auto it = entries_.find(key); it != entries_.end()) {
     // Another worker built and inserted the same topology while we were
     // unlocked; theirs is canonical (it may already carry a

@@ -30,13 +30,13 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/scenario.hpp"
 #include "graph/digraph.hpp"
 #include "routing/routing.hpp"
 #include "routing/softmin.hpp"
+#include "util/sync.hpp"
 
 namespace gddr::serve {
 
@@ -61,26 +61,27 @@ struct TopologyEntry {
   class LastGood {
    public:
     // Copies the stored routing into `out`; false when none is stored.
-    bool load(routing::Routing& out) const {
-      std::lock_guard<std::mutex> lock(mu_);
+    bool load(routing::Routing& out) const GDDR_EXCLUDES(mu_) {
+      const util::MutexLock lock(mu_);
       if (!has_) return false;
       out = routing_;
       return true;
     }
-    bool has() const {
-      std::lock_guard<std::mutex> lock(mu_);
+    bool has() const GDDR_EXCLUDES(mu_) {
+      const util::MutexLock lock(mu_);
       return has_;
     }
-    void invalidate() {
-      std::lock_guard<std::mutex> lock(mu_);
+    void invalidate() GDDR_EXCLUDES(mu_) {
+      const util::MutexLock lock(mu_);
       has_ = false;
       successes_since_refresh_ = 0;
     }
     // Called after every rung-1 success.  Stores `r` when nothing is
     // stored yet or every `refresh_every` successes (copying a Routing
     // is not free; 1 refreshes every time).
-    void offer(const routing::Routing& r, int refresh_every) {
-      std::lock_guard<std::mutex> lock(mu_);
+    void offer(const routing::Routing& r, int refresh_every)
+        GDDR_EXCLUDES(mu_) {
+      const util::MutexLock lock(mu_);
       ++successes_since_refresh_;
       if (has_ && successes_since_refresh_ < refresh_every) return;
       routing_ = r;
@@ -89,10 +90,11 @@ struct TopologyEntry {
     }
 
    private:
-    mutable std::mutex mu_;
-    bool has_ = false;
-    routing::Routing routing_;
-    long successes_since_refresh_ = 0;
+    mutable util::Mutex mu_{util::LockRank::kLastGood,
+                            "serve/topo_cache/last_good"};
+    bool has_ GDDR_GUARDED_BY(mu_) = false;
+    routing::Routing routing_ GDDR_GUARDED_BY(mu_);
+    long successes_since_refresh_ GDDR_GUARDED_BY(mu_) = 0;
   };
   mutable LastGood last_good;
 };
@@ -111,18 +113,20 @@ class TopologyCache {
   // corrupt graph; nothing is cached in that case).  The returned
   // shared_ptr keeps the entry alive for as long as the caller holds it,
   // however many topologies are acquired in between.
-  EntryPtr acquire(const graph::DiGraph& g);
+  EntryPtr acquire(const graph::DiGraph& g) GDDR_EXCLUDES(mu_);
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  // Stats take the reader side of the index lock: they observe without
+  // touching recency, so concurrent stat polls never serialise a worker.
+  std::size_t size() const GDDR_EXCLUDES(mu_) {
+    const util::SharedLock lock(mu_);
     return entries_.size();
   }
-  long hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  long hits() const GDDR_EXCLUDES(mu_) {
+    const util::SharedLock lock(mu_);
     return hits_;
   }
-  long misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  long misses() const GDDR_EXCLUDES(mu_) {
+    const util::SharedLock lock(mu_);
     return misses_;
   }
 
@@ -140,11 +144,14 @@ class TopologyCache {
     EntryPtr entry;
     std::list<std::uint64_t>::iterator recency;
   };
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, Slot> entries_;
-  std::list<std::uint64_t> recency_;  // most recent at front
-  long hits_ = 0;
-  long misses_ = 0;
+  // Reader/writer lock: acquire() is always a writer (even a hit splices
+  // the recency list), the stat getters above are readers.
+  mutable util::SharedMutex mu_{util::LockRank::kTopologyCache,
+                                "serve/topo_cache"};
+  std::map<std::uint64_t, Slot> entries_ GDDR_GUARDED_BY(mu_);
+  std::list<std::uint64_t> recency_ GDDR_GUARDED_BY(mu_);  // recent at front
+  long hits_ GDDR_GUARDED_BY(mu_) = 0;
+  long misses_ GDDR_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gddr::serve

@@ -120,7 +120,7 @@ void FaultInjector::arm(const std::string& spec) {
     any = true;
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (int i = 0; i < static_cast<int>(FaultSite::kSiteCount); ++i) {
     schedules_[i] = parsed[i];
   }
@@ -134,7 +134,7 @@ void FaultInjector::arm_from_env() {
 void FaultInjector::disarm() { arm(""); }
 
 bool FaultInjector::fire(FaultSite site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Schedule& schedule = schedules_[site_index(site)];
   ++schedule.hits;
   bool fires = false;
@@ -156,12 +156,12 @@ bool FaultInjector::fire(FaultSite site) {
 }
 
 long FaultInjector::hits(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return schedules_[site_index(site)].hits;
 }
 
 long FaultInjector::fired(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return schedules_[site_index(site)].fired;
 }
 

@@ -35,10 +35,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace gddr::util {
 
@@ -65,7 +65,7 @@ class FaultInjector {
   // schedule and resetting all counters.  An empty spec disarms.  Throws
   // util::IoError naming the offending token on a malformed spec; the
   // previously armed schedule is left untouched.
-  void arm(const std::string& spec);
+  void arm(const std::string& spec) GDDR_EXCLUDES(mutex_);
 
   // Arms from the GDDR_FAULTS environment variable (no-op when unset).
   void arm_from_env();
@@ -79,11 +79,11 @@ class FaultInjector {
 
   // Records one hit of `site` and returns true when the armed schedule
   // fires for it.  Only called via inject() on the enabled path.
-  bool fire(FaultSite site);
+  bool fire(FaultSite site) GDDR_EXCLUDES(mutex_);
 
   // Diagnostics: hits observed / faults fired per site since arming.
-  long hits(FaultSite site) const;
-  long fired(FaultSite site) const;
+  long hits(FaultSite site) const GDDR_EXCLUDES(mutex_);
+  long fired(FaultSite site) const GDDR_EXCLUDES(mutex_);
 
  private:
   FaultInjector() = default;
@@ -99,8 +99,9 @@ class FaultInjector {
   };
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  Schedule schedules_[static_cast<int>(FaultSite::kSiteCount)];
+  mutable Mutex mutex_{LockRank::kFaultInjector, "util/fault"};
+  Schedule schedules_[static_cast<int>(FaultSite::kSiteCount)]
+      GDDR_GUARDED_BY(mutex_);
 };
 
 // The one call production code makes at an injection point.

@@ -15,11 +15,11 @@
 // queued items until none remain.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "util/sync.hpp"
 
 namespace gddr::util {
 
@@ -33,9 +33,9 @@ class MpmcQueue {
 
   // Enqueues `item`; false (item untouched in the moved-from sense only
   // on success) when the queue is full or closed.
-  bool try_push(T&& item) {
+  bool try_push(T&& item) GDDR_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -45,9 +45,9 @@ class MpmcQueue {
 
   // Blocks until an item is available (true) or the queue is closed and
   // fully drained (false).
-  bool pop(T& out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  bool pop(T& out) GDDR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!pop_ready_locked()) ready_.wait(lock);
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
@@ -55,8 +55,8 @@ class MpmcQueue {
   }
 
   // Non-blocking pop; false when the queue is currently empty.
-  bool try_pop(T& out) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool try_pop(T& out) GDDR_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
@@ -68,8 +68,8 @@ class MpmcQueue {
   // controller evicts the oldest already-expired item to make room.
   // False when nothing matches.
   template <typename Pred>
-  bool evict_first_if(Pred pred, T& out) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool evict_first_if(Pred pred, T& out) GDDR_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     for (auto it = items_.begin(); it != items_.end(); ++it) {
       if (pred(*it)) {
         out = std::move(*it);
@@ -82,32 +82,38 @@ class MpmcQueue {
 
   // Rejects future pushes and wakes every blocked pop; already-queued
   // items stay poppable (close-and-drain shutdown).
-  void close() {
+  void close() GDDR_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       closed_ = true;
     }
     ready_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const GDDR_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t size() const GDDR_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return items_.size();
   }
 
   std::size_t capacity() const { return capacity_; }
 
  private:
+  // True when a blocked pop should stop waiting: an item to hand out, or
+  // close-and-drain in progress.
+  bool pop_ready_locked() const GDDR_REQUIRES(mu_) {
+    return closed_ || !items_.empty();
+  }
+
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_{LockRank::kMpmcQueue, "util/mpmc_queue"};
+  CondVar ready_;
+  std::deque<T> items_ GDDR_GUARDED_BY(mu_);
+  bool closed_ GDDR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gddr::util

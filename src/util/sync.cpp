@@ -1,0 +1,121 @@
+#include "util/sync.hpp"
+
+#include <atomic>
+#include <string>
+
+#include "util/contract.hpp"
+
+namespace gddr::util {
+namespace {
+
+// Monotonic count of rank-stack pushes; the compile-out proof asserts it
+// stays zero in non-GDDR_CHECK builds.
+std::atomic<std::uint64_t> g_ranks_tracked{0};
+
+#if GDDR_CHECK
+struct Held {
+  int rank = 0;
+  const char* label = nullptr;
+  const void* addr = nullptr;
+};
+
+// Deeper nesting than this is a bug in its own right (the rank table has
+// ~10 levels); hitting the cap throws rather than silently truncating.
+constexpr int kMaxHeld = 64;
+
+thread_local Held t_held[kMaxHeld];
+thread_local int t_depth = 0;
+#endif  // GDDR_CHECK
+
+}  // namespace
+
+std::uint64_t sync_ranks_tracked() {
+  return g_ranks_tracked.load(std::memory_order_relaxed);
+}
+
+int held_lock_depth() {
+#if GDDR_CHECK
+  return t_depth;
+#else
+  return 0;
+#endif
+}
+
+#if GDDR_CHECK
+namespace sync_detail {
+
+void check_acquire(int rank, const char* label, const void* addr,
+                   const std::source_location& loc) {
+  const std::string values_prefix =
+      "acquiring=" + std::string(label) + " (rank " + std::to_string(rank) +
+      ")";
+  for (int i = 0; i < t_depth; ++i) {
+    if (t_held[i].addr == addr) {
+      throw ContractViolation(
+          "LOCK_RANK", "no re-entrant acquisition of a held lock",
+          "util/sync/lock_rank", loc.file_name(),
+          static_cast<int>(loc.line()),
+          values_prefix + ", already_held=" + t_held[i].label + " (rank " +
+              std::to_string(t_held[i].rank) + ")");
+    }
+  }
+  if (t_depth > 0) {
+    const Held& deepest = t_held[t_depth - 1];
+    if (rank >= deepest.rank) {
+      throw ContractViolation(
+          "LOCK_RANK", "rank(acquiring) < rank(deepest held)",
+          "util/sync/lock_rank", loc.file_name(),
+          static_cast<int>(loc.line()),
+          values_prefix + ", deepest_held=" + deepest.label + " (rank " +
+              std::to_string(deepest.rank) + ")");
+    }
+  }
+  if (t_depth >= kMaxHeld) {
+    throw ContractViolation("LOCK_RANK", "held-lock stack within bounds",
+                            "util/sync/lock_rank", loc.file_name(),
+                            static_cast<int>(loc.line()),
+                            values_prefix + ", depth=" +
+                                std::to_string(t_depth));
+  }
+}
+
+void push_acquired(int rank, const char* label, const void* addr) {
+  t_held[t_depth] = Held{rank, label, addr};
+  ++t_depth;
+  g_ranks_tracked.fetch_add(1, std::memory_order_relaxed);
+}
+
+void pop_released(const void* addr) {
+  // Guards release LIFO, but tolerate out-of-order release (legal with
+  // hand-called unlock()) by removing the matching entry nearest the top.
+  for (int i = t_depth - 1; i >= 0; --i) {
+    if (t_held[i].addr != addr) continue;
+    for (int j = i; j + 1 < t_depth; ++j) t_held[j] = t_held[j + 1];
+    --t_depth;
+    return;
+  }
+  // Releasing a lock the detector never saw acquired: unreachable through
+  // the wrappers (lock() always pushes), so nothing to unwind.
+}
+
+}  // namespace sync_detail
+#endif  // GDDR_CHECK
+
+void CondVar::wait(MutexLock& lock) {
+  if (lock.mu_ == nullptr) {
+    throw ContractViolation(
+        "LOCK_RANK", "CondVar waits on a util::Mutex guard",
+        "util/sync/condvar", __FILE__, __LINE__,
+        "guard holds a SharedMutex writer lock, not a Mutex");
+  }
+  // Adopt the mutex the guard already holds, wait (which unlocks and
+  // re-locks it), then release the adoption so the guard's destructor
+  // stays the one true unlock.  The rank stack deliberately keeps the
+  // mutex marked held across the wait: the waiting thread re-holds it at
+  // every point it can observe, and other threads have their own stacks.
+  std::unique_lock<std::mutex> adopted(lock.mu_->m_, std::adopt_lock);
+  cv_.wait(adopted);
+  adopted.release();
+}
+
+}  // namespace gddr::util

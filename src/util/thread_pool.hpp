@@ -18,14 +18,14 @@
 //    rethrown from the waiting parallel_for / parallel_map call.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace gddr::util {
 
@@ -48,11 +48,18 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  // True when a worker should wake: work to pop, or shutdown in progress.
+  bool wake_ready_locked() const GDDR_REQUIRES(mutex_) {
+    return stopping_ || !queue_.empty();
+  }
+
+  // Immutable after construction (workers never join or spawn mid-life),
+  // so size() reads it without the lock.
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_{LockRank::kThreadPool, "util/thread_pool"};
+  CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ GDDR_GUARDED_BY(mutex_);
+  bool stopping_ GDDR_GUARDED_BY(mutex_) = false;
 };
 
 // Number of workers to use by default: the GDDR_WORKERS environment

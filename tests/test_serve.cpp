@@ -49,6 +49,7 @@ using serve::FailureCause;
 using serve::RobustRouter;
 using serve::RouteRequest;
 using serve::RouterConfig;
+using serve::RouterStats;
 using serve::Rung;
 using serve::ServeOutcome;
 using serve::ShedPolicy;
@@ -1188,6 +1189,47 @@ TEST(Engine, RejectsBadConfiguration) {
   EngineConfig bad_batch = inline_engine_config();
   bad_batch.max_batch = 0;
   EXPECT_THROW(Engine(nullptr, bad_batch), std::invalid_argument);
+}
+
+TEST(Engine, ConcurrentPollAndShutdownStayCoherent) {
+  // Regression test for the inline-mode lifecycle race: poll(),
+  // shutdown() and router_stats() used to touch inline_batcher_ and
+  // router_stats_ with no synchronisation, so a stats poll racing a
+  // shutdown read the aggregate mid-write (and router_stats() returned a
+  // reference into the mutating member).  All three now serialise on the
+  // engine lifecycle mutex; under TSan this test fails without it.
+  EngineConfig config = inline_engine_config();
+  config.queue_capacity = 256;
+  Engine engine(nullptr, config);
+  const auto g = topo::abilene();
+
+  std::vector<std::future<ServeOutcome>> futures;
+  for (int i = 0; i < 48; ++i) {
+    futures.push_back(engine.submit(make_request(g)));
+  }
+
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      engine.poll();
+      // By-value snapshot: safe to read while shutdown() aggregates.
+      const RouterStats rst = engine.router_stats();
+      EXPECT_GE(rst.requests, 0L);
+    }
+  });
+  std::thread stopper([&] { engine.shutdown(); });
+  stopper.join();
+  done.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  long served = 0;
+  for (auto& f : futures) {
+    if (!f.get().shed) ++served;
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.offered, 48);
+  EXPECT_EQ(stats.served + stats.shed, stats.offered);
+  EXPECT_EQ(engine.router_stats().requests, served);
 }
 
 TEST(Engine, ShedPolicyNamesRoundTrip) {

@@ -606,7 +606,7 @@ int cmd_serve_bench(const ServeBenchArgs& args, int workers) {
   table.add_row({"p99 latency (us)",
                  std::isnan(p99) ? "n/a" : util::fmt(p99, 1)});
   table.print();
-  const serve::RouterStats& rst = engine.router_stats();
+  const serve::RouterStats rst = engine.router_stats();
   util::Table rungs({"rung", "decisions"});
   for (int r = 0; r < static_cast<int>(serve::Rung::kRungCount); ++r) {
     rungs.add_row({serve::rung_name(static_cast<serve::Rung>(r)),

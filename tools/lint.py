@@ -16,7 +16,12 @@ Checks conventions clang-tidy cannot express:
     synchronise with another thread breeds flaky tests; inject time
     points (CircuitBreaker, DeadlineBudget, serve::Engine all take `now`
     as a parameter) or busy-wait on the condition itself (spin_until /
-    spin_at_least helpers).
+    spin_at_least helpers);
+  * no raw std sync primitives (std::mutex, std::shared_mutex,
+    std::condition_variable, std::lock_guard, std::unique_lock,
+    std::shared_lock, std::scoped_lock) outside src/util/sync.{hpp,cpp} —
+    every lock goes through util::Mutex / util::SharedMutex so it carries
+    thread-safety capability annotations and a lock rank (DESIGN.md §13).
 
 Exit status: 0 clean, 1 findings, 2 usage error.  Run from the repo root:
 
@@ -58,6 +63,16 @@ NAKED_TIME_RE = re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)")
 STDOUT_RE = re.compile(r"std\s*::\s*(cout|cerr)\b|(?<![\w:])f?printf\s*\(")
 USING_STD_RE = re.compile(r"using\s+namespace\s+std\s*;")
 TEST_SLEEP_RE = re.compile(r"sleep_(?:for|until)\s*\(")
+RAW_SYNC_RE = re.compile(
+    r"std\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b"
+)
+# The one place allowed to touch the std primitives: the wrapper itself.
+RAW_SYNC_EXEMPT = {
+    Path("src/util/sync.hpp"),
+    Path("src/util/sync.cpp"),
+}
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"])([^">]+)[">]', re.MULTILINE)
 
 
@@ -104,6 +119,14 @@ def lint_file(path: Path, roots: set[str]) -> list[str]:
         for m in STDOUT_RE.finditer(text):
             emit(m.start(), "stdout/stderr output in library code: "
                             "report via exceptions or obs:: metrics")
+
+    if rel not in RAW_SYNC_EXEMPT:
+        for m in RAW_SYNC_RE.finditer(text):
+            emit(m.start(),
+                 f"raw std::{m.group(1)}: use util::Mutex/SharedMutex/"
+                 "CondVar and the MutexLock/SharedLock guards "
+                 "(util/sync.hpp) so the lock carries capability "
+                 "annotations and a rank")
 
     if rel.parts[0] == "tests":
         for m in TEST_SLEEP_RE.finditer(text):
