@@ -26,6 +26,23 @@
 namespace gddr::mcf {
 
 // FNV-1a content hash of a graph's structure and capacities.
+//
+// Guarantee: this is a *representation* hash, not an isomorphism hash.
+// It digests (num_nodes, then every edge's (src, dst, capacity) in
+// storage order), so two DiGraphs hash equal iff they were built with
+// the same node count and the same edge sequence (up to the usual
+// 64-bit collision odds).  Consequences callers must not be surprised
+// by:
+//  * Edge order matters: removing an edge and re-adding it appends it
+//    at the end of the edge list, so the "same" topology hashes
+//    differently from the original.  (operator== has the same
+//    order-sensitivity, so fingerprint-equal still tracks graph-equal.)
+//  * Node removal compacts ids: DiGraph::without_node renumbers the
+//    surviving nodes, so a compacted graph *aliases* a natively built
+//    graph with those nodes/edges — deliberately, because after
+//    compaction they are the same representation.  Callers tracking
+//    topology *identity across mutations* (rather than current
+//    structure) must carry their own epoch alongside the fingerprint.
 std::uint64_t graph_fingerprint(const graph::DiGraph& g);
 
 // FNV-1a content hash of a demand matrix.

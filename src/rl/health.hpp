@@ -20,6 +20,7 @@
 // can alert on a run that is limping rather than learning.
 #pragma once
 
+#include <cmath>
 #include <span>
 #include <vector>
 
@@ -27,6 +28,17 @@
 #include "nn/tensor.hpp"
 
 namespace gddr::rl {
+
+// Shared numerical guard: true when every entry is finite.  The serving
+// and lifecycle layers vet policy action means with the same predicate
+// the training watchdog applies to gradients and weights, so "healthy"
+// means one thing across the stack.
+inline bool all_finite(std::span<const double> values) {
+  for (const double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
 
 struct HealthConfig {
   bool enabled = true;

@@ -1,5 +1,7 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -104,6 +106,69 @@ void Engine::poll() {
   drain_inline();
 }
 
+void Engine::set_policy(std::shared_ptr<const core::GnnPolicy> policy,
+                        std::uint64_t version) {
+  {
+    const util::MutexLock lock(policy_mu_);
+    slot_armed_ = true;
+    live_policy_ = std::move(policy);
+    live_version_ = version;
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  obs::gauge("lifecycle/version", static_cast<double>(version));
+  obs::count("lifecycle/swaps");
+}
+
+void Engine::set_candidate(std::shared_ptr<const core::GnnPolicy> candidate,
+                           std::uint64_t version, double fraction) {
+  const double f = std::clamp(fraction, 0.0, 1.0);
+  const util::MutexLock lock(policy_mu_);
+  slot_armed_ = true;
+  candidate_policy_ = std::move(candidate);
+  candidate_version_ = version;
+  canary_permille_ =
+      candidate_policy_ ? static_cast<int>(std::lround(f * 1000.0)) : 0;
+}
+
+void Engine::clear_candidate() {
+  const util::MutexLock lock(policy_mu_);
+  candidate_policy_.reset();
+  candidate_version_ = 0;
+  canary_permille_ = 0;
+}
+
+void Engine::set_decision_observer(DecisionObserver observer) {
+  const util::MutexLock lock(policy_mu_);
+  observer_ = std::move(observer);
+}
+
+std::uint64_t Engine::live_version() const {
+  const util::MutexLock lock(policy_mu_);
+  return live_version_;
+}
+
+Engine::PolicyPick Engine::pick_policy() {
+  const util::MutexLock lock(policy_mu_);
+  PolicyPick pick;
+  pick.armed = slot_armed_;
+  pick.observer = observer_;
+  pick.policy = live_policy_;
+  pick.version = live_version_;
+  if (candidate_policy_ != nullptr && canary_permille_ > 0) {
+    // Deterministic canary split: batch sequence numbers are only
+    // consumed while a candidate is armed, so the canary gets its
+    // configured share of batches regardless of when it was staged.
+    const std::uint64_t seq =
+        batch_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (static_cast<int>(seq % 1000) < canary_permille_) {
+      pick.policy = candidate_policy_;
+      pick.version = candidate_version_;
+      pick.candidate = true;
+    }
+  }
+  return pick;
+}
+
 void Engine::shutdown() {
   if (stopped_.exchange(true)) return;
   queue_.close();
@@ -167,6 +232,20 @@ void Engine::process_batch(RobustRouter& router, std::vector<Job> batch) {
   }
   if (live.empty()) return;
 
+  // Batch boundary: re-read the policy slot.  The shared_ptr copy in
+  // `pick` keeps the policy alive for this whole batch even if the slot
+  // is overwritten concurrently; the router never sees a swap mid-batch.
+  const PolicyPick pick = pick_policy();
+  if (pick.armed) {
+    // The const_cast is sound: rl::Policy's interface is non-const only
+    // because generic policies may build tapes in place, and GnnPolicy's
+    // forwards are logically const and thread-safe (per-thread tapes,
+    // immutable parameters) — the slot's `const` expresses that nobody
+    // may *mutate* the published policy.
+    router.set_policy(const_cast<core::GnnPolicy*>(pick.policy.get()),
+                      pick.version, pick.candidate);
+  }
+
   std::vector<const RouteRequest*> requests;
   requests.reserve(live.size());
   for (const Job* job : live) requests.push_back(&job->request);
@@ -177,6 +256,21 @@ void Engine::process_batch(RobustRouter& router, std::vector<Job> batch) {
   const Clock::time_point done = Clock::now();
   for (std::size_t i = 0; i < live.size(); ++i) {
     Job* job = live[i];
+    const RouteDecision& d = decisions[i];
+    DecisionRecord record;
+    record.rung = d.rung;
+    record.policy_version = d.policy_version;
+    record.served_by_candidate = d.served_by_candidate;
+    for (const RungAttempt& attempt : d.attempts) {
+      if (attempt.rung == Rung::kGnnPolicy &&
+          attempt.cause == FailureCause::kNonFiniteOutput) {
+        record.nonfinite_policy_output = true;
+      }
+    }
+    record.u_max = d.sim.u_max;
+    record.routed_demand = d.routed_demand;
+    record.latency_s = d.latency_s;
+
     obs::observe(
         "serve/engine/latency_us",
         std::chrono::duration<double, std::micro>(done - job->enqueued)
@@ -186,6 +280,10 @@ void Engine::process_batch(RobustRouter& router, std::vector<Job> batch) {
     outcome.shed = false;
     outcome.decision = std::move(decisions[i]);
     job->promise.set_value(std::move(outcome));
+    // After the caller's future is resolved, so a slow observer (shadow
+    // mirror, promoter gates) never adds to request latency.  The job
+    // still owns its request here.
+    if (pick.observer) pick.observer(job->request, record);
   }
 }
 

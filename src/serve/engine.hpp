@@ -31,19 +31,35 @@
 // for the bit-identity leg of bench_serve_throughput.  Inline mode
 // assumes a single-threaded caller.
 //
+// Policy lifecycle seam: the engine owns an RCU-style policy slot.  The
+// lifecycle layer installs `std::shared_ptr<const core::GnnPolicy>`
+// values (set_policy / set_candidate); each worker re-reads the slot at
+// every micro-batch boundary, keeps its own shared_ptr copy for the
+// duration of the batch, and installs the raw pointer into its private
+// RobustRouter.  A hot swap therefore never tears an in-flight batch,
+// the old policy stays alive until the last batch using it completes,
+// and every decision is attributable to exactly one policy version.
+// A decision observer hook feeds each served decision (post-resolve,
+// on the serving thread) to the lifecycle layer for shadow scoring,
+// canary gating and NaN rollback.
+//
 // Exported metrics: serve/engine/shed (counter), serve/engine/queue_depth
 // (gauge), serve/engine/batch_size and serve/engine/latency_us
-// (histograms).
+// (histograms); lifecycle/version (gauge) and lifecycle/swaps (counter)
+// on set_policy.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "core/policies.hpp"
 #include "serve/batcher.hpp"
 #include "serve/router.hpp"
 #include "util/mpmc_queue.hpp"
@@ -83,6 +99,29 @@ struct EngineStats {
   long batches = 0;  // decide_batch invocations (any size)
 };
 
+// One served (non-shed) decision as seen by the lifecycle layer: enough
+// to score a canary, mirror the request through a shadow candidate and
+// detect a poisoned policy, without holding the full RouteDecision (the
+// routing itself has already been moved into the caller's future by the
+// time the observer runs).
+struct DecisionRecord {
+  Rung rung = Rung::kDropTraffic;
+  std::uint64_t policy_version = 0;
+  bool served_by_candidate = false;
+  // Rung 1 produced NaN/Inf action means for this request.  The ladder
+  // recovered (a lower rung served it), but a *candidate* doing this is
+  // grounds for immediate rollback.
+  bool nonfinite_policy_output = false;
+  double u_max = 0.0;          // simulated max link utilisation (Eq. 1)
+  double routed_demand = 0.0;
+  double latency_s = 0.0;
+};
+
+// Invoked on the serving thread after the caller's future is resolved.
+// Must be cheap and safe to call from multiple workers concurrently.
+using DecisionObserver =
+    std::function<void(const RouteRequest&, const DecisionRecord&)>;
+
 class Engine {
  public:
   // `policy` may be null (workers serve from the static rungs only);
@@ -110,6 +149,32 @@ class Engine {
   // workers.  Idempotent; also run by the destructor.
   void shutdown() GDDR_EXCLUDES(lifecycle_mu_);
 
+  // --- Policy lifecycle seam (see file comment) -----------------------
+  // Installs `policy` (may be null: rung 1 disabled) as the live policy
+  // for every worker, superseding the construction-time pointer from the
+  // next batch boundary on.  Thread-safe; zero downtime — in-flight
+  // batches finish on the policy they started with.
+  void set_policy(std::shared_ptr<const core::GnnPolicy> policy,
+                  std::uint64_t version = 0) GDDR_EXCLUDES(policy_mu_);
+
+  // Arms a canary: a `fraction` share of micro-batches (chosen
+  // deterministically by batch sequence number) is served by `candidate`
+  // instead of the live policy, attributed via
+  // RouteDecision::served_by_candidate.  fraction is clamped to [0, 1].
+  void set_candidate(std::shared_ptr<const core::GnnPolicy> candidate,
+                     std::uint64_t version, double fraction)
+      GDDR_EXCLUDES(policy_mu_);
+  void clear_candidate() GDDR_EXCLUDES(policy_mu_);
+
+  // Installs the observer invoked for every *served* decision.  Install
+  // before offering traffic, or accept missing early records.
+  void set_decision_observer(DecisionObserver observer)
+      GDDR_EXCLUDES(policy_mu_);
+
+  std::uint64_t live_version() const GDDR_EXCLUDES(policy_mu_);
+  // set_policy() installs over the engine lifetime (hot swaps).
+  long swaps() const { return swaps_.load(std::memory_order_relaxed); }
+
   EngineStats stats() const;
 
   // Per-worker RouterStats summed over the fleet, by value: shutdown()
@@ -129,9 +194,22 @@ class Engine {
  private:
   using Clock = std::chrono::steady_clock;
 
+  // The slot value one micro-batch runs under: shared_ptr copies taken
+  // under policy_mu_ keep the policy alive for the whole batch even if
+  // the slot is overwritten mid-batch.
+  struct PolicyPick {
+    bool armed = false;  // the slot has been written at least once
+    std::shared_ptr<const core::GnnPolicy> policy;
+    std::uint64_t version = 0;
+    bool candidate = false;
+    DecisionObserver observer;
+  };
+
   void worker_loop(int index);
   void drain_inline() GDDR_REQUIRES(lifecycle_mu_);
-  void process_batch(RobustRouter& router, std::vector<Job> batch);
+  void process_batch(RobustRouter& router, std::vector<Job> batch)
+      GDDR_EXCLUDES(policy_mu_);
+  PolicyPick pick_policy() GDDR_EXCLUDES(policy_mu_);
   void shed_job(Job& job);
 
   EngineConfig config_;
@@ -149,6 +227,23 @@ class Engine {
   // Batcher::pending_) survives across submit() calls.
   std::optional<Batcher> inline_batcher_ GDDR_GUARDED_BY(lifecycle_mu_);
   std::vector<std::thread> threads_ GDDR_GUARDED_BY(lifecycle_mu_);
+  // Policy slot: written by the lifecycle layer, re-read by every worker
+  // at each batch boundary.  Ranked below kEngine so inline drains
+  // (holding lifecycle_mu_) can read it.  Until the slot is first
+  // written (slot_armed_), workers keep the construction-time policy.
+  mutable util::Mutex policy_mu_{util::LockRank::kEnginePolicy,
+                                 "serve/engine/policy"};
+  bool slot_armed_ GDDR_GUARDED_BY(policy_mu_) = false;
+  std::shared_ptr<const core::GnnPolicy> live_policy_
+      GDDR_GUARDED_BY(policy_mu_);
+  std::uint64_t live_version_ GDDR_GUARDED_BY(policy_mu_) = 0;
+  std::shared_ptr<const core::GnnPolicy> candidate_policy_
+      GDDR_GUARDED_BY(policy_mu_);
+  std::uint64_t candidate_version_ GDDR_GUARDED_BY(policy_mu_) = 0;
+  int canary_permille_ GDDR_GUARDED_BY(policy_mu_) = 0;
+  DecisionObserver observer_ GDDR_GUARDED_BY(policy_mu_);
+  std::atomic<std::uint64_t> batch_seq_{0};
+  std::atomic<long> swaps_{0};
   std::atomic<bool> stopped_{false};
   std::atomic<long> offered_{0};
   std::atomic<long> shed_{0};

@@ -11,6 +11,7 @@
 #include "mcf/cache.hpp"
 #include "obs/metrics.hpp"
 #include "rl/forward.hpp"
+#include "rl/health.hpp"
 #include "util/fault.hpp"
 
 namespace gddr::serve {
@@ -140,6 +141,13 @@ RouteDecision RobustRouter::decide(const RouteRequest& request) {
   return decide_with_mean(request, nullptr);
 }
 
+void RobustRouter::set_policy(rl::Policy* policy, std::uint64_t version,
+                              bool candidate) {
+  policy_ = policy;
+  policy_version_ = version;
+  candidate_ = candidate;
+}
+
 std::vector<RouteDecision> RobustRouter::decide_batch(
     const std::vector<const RouteRequest*>& requests) {
   std::vector<RouteDecision> decisions;
@@ -219,6 +227,8 @@ RouteDecision RobustRouter::decide_with_mean(
 
   decision.latency_s =
       std::chrono::duration<double>(Clock::now() - start).count();
+  decision.policy_version = policy_version_;
+  decision.served_by_candidate = candidate_;
   ++stats_.rung_decisions[static_cast<int>(decision.rung)];
   if (!decision.sanitize.clean()) ++stats_.sanitized_requests;
   stats_.unroutable_entries += decision.sanitize.unroutable_entries;
@@ -368,15 +378,19 @@ FailureCause RobustRouter::try_policy_rung(
       return FailureCause::kPolicyError;
     }
   }
-  if (util::inject(util::FaultSite::kPolicyNan)) {
-    obs::count("serve/fault/policy_nan");
+  // A staged candidate has its own NaN site so chaos runs can poison
+  // *only* the candidate (proving rollback) while the incumbent stays
+  // healthy — and vice versa.
+  const util::FaultSite nan_site = candidate_
+                                       ? util::FaultSite::kCandidateNan
+                                       : util::FaultSite::kPolicyNan;
+  if (util::inject(nan_site)) {
+    obs::count(std::string("serve/fault/") + util::to_string(nan_site));
     if (!mean.empty()) {
       mean[0] = std::numeric_limits<double>::quiet_NaN();
     }
   }
-  for (const double m : mean) {
-    if (!std::isfinite(m)) return FailureCause::kNonFiniteOutput;
-  }
+  if (!rl::all_finite(mean)) return FailureCause::kNonFiniteOutput;
   if (util::inject(util::FaultSite::kPolicySlow)) {
     // Deterministic stand-in for a policy forward that blew its stage
     // budget — no real sleep, so chaos runs stay fast and reproducible.

@@ -50,6 +50,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -121,6 +122,13 @@ struct RouteDecision {
   bool deadline_exhausted = false;
   // Demand volume actually routed (after sanitising).
   double routed_demand = 0.0;
+  // Version of the policy installed in this router when the decision was
+  // made (0 = the construction-time, unversioned policy) and whether that
+  // policy was a staged *candidate* (canary traffic).  Every decision is
+  // attributable to exactly one (version, candidate) pair because the
+  // engine installs the policy once per micro-batch, never mid-batch.
+  std::uint64_t policy_version = 0;
+  bool served_by_candidate = false;
 };
 
 struct RouterConfig {
@@ -185,6 +193,18 @@ class RobustRouter {
   std::vector<RouteDecision> decide_batch(
       const std::vector<const RouteRequest*>& requests);
 
+  // Installs the rung-1 policy used from here on.  Per-router and
+  // unsynchronised by design: serve::Engine calls it on the worker's own
+  // router at a batch boundary (the engine's policy slot provides the
+  // cross-thread ordering), never concurrently with decide().  `policy`
+  // may be null (rung 1 unavailable) and must outlive its installation;
+  // `candidate` marks a staged candidate so decisions carry the
+  // attribution and NaN injection fires the candidate_nan site instead
+  // of policy_nan.
+  void set_policy(rl::Policy* policy, std::uint64_t version,
+                  bool candidate = false);
+  std::uint64_t policy_version() const { return policy_version_; }
+
   const RouterStats& stats() const { return stats_; }
   const CircuitBreaker& breaker() const { return *breaker_; }
   TopologyCache& topology_cache() { return *cache_; }
@@ -214,6 +234,8 @@ class RobustRouter {
   void export_metrics(const RouteDecision& decision);
 
   rl::Policy* policy_;
+  std::uint64_t policy_version_ = 0;
+  bool candidate_ = false;
   RouterConfig config_;
   std::shared_ptr<CircuitBreaker> breaker_;
   std::shared_ptr<TopologyCache> cache_;

@@ -17,6 +17,9 @@ constexpr const char* kSiteNames[] = {
     "policy_slow",
     "topo_change",
     "request_garbage",
+    "registry_publish",
+    "shadow_diverge",
+    "candidate_nan",
 };
 static_assert(sizeof(kSiteNames) / sizeof(kSiteNames[0]) ==
               static_cast<std::size_t>(FaultSite::kSiteCount));
@@ -27,8 +30,15 @@ FaultSite site_from_name(const std::string& name, const std::string& entry) {
   for (int i = 0; i < static_cast<int>(FaultSite::kSiteCount); ++i) {
     if (name == kSiteNames[i]) return static_cast<FaultSite>(i);
   }
+  // The site population keeps growing PR over PR; an operator staring at
+  // a typo should not have to open this file to learn what is valid.
+  std::string valid;
+  for (int i = 0; i < static_cast<int>(FaultSite::kSiteCount); ++i) {
+    if (i > 0) valid += ", ";
+    valid += kSiteNames[i];
+  }
   throw IoError("FaultInjector: unknown fault site '" + name +
-                "' in entry '" + entry + "'");
+                "' in entry '" + entry + "' (valid sites: " + valid + ")");
 }
 
 long parse_long(const std::string& text, const std::string& entry) {

@@ -24,6 +24,7 @@
 //            | site '~' P '/' S  fire each hit with probability P, seeded S
 //   site    := lp_solve | ckpt_write | nan_grad | train_abort
 //            | policy_nan | policy_slow | topo_change | request_garbage
+//            | registry_publish | shadow_diverge | candidate_nan
 // Example: GDDR_FAULTS="lp_solve@3,nan_grad@2+" fails the 3rd LP solve
 // and every gradient computation from the 2nd onward.
 //
@@ -51,6 +52,11 @@ enum class FaultSite : int {
   kPolicySlow,        // serve::RobustRouter policy stage deadline blowout
   kTopoChange,        // serve::RobustRouter mid-request topology change
   kRequestGarbage,    // serve::RobustRouter garbage inbound demand matrix
+  kRegistryPublish,   // lifecycle::ModelRegistry publish I/O failure
+  kShadowDiverge,     // lifecycle::ShadowEvaluator forced candidate loss
+  kCandidateNan,      // NaN output from a *candidate* policy (the serving
+                      //   router injects this instead of kPolicyNan when
+                      //   it is serving a staged candidate)
   kSiteCount,
 };
 

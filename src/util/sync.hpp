@@ -86,6 +86,18 @@ namespace gddr::util {
 // optimal cache each export obs:: counters while holding their own lock.
 enum class LockRank : int {
   kEngine = 90,         // serve::Engine lifecycle (poll/shutdown/stats)
+  kPromoter = 88,       // lifecycle::Promoter state machine (holds its
+                        //   lock while loading from the model registry,
+                        //   scoring shadow mirrors and installing
+                        //   policies into the engine slot)
+  kModelRegistry = 86,  // lifecycle::ModelRegistry manifest + store
+  kEnginePolicy = 85,   // serve::Engine policy slot (live/candidate
+                        //   pointers workers re-read between batches)
+  kPolicySlot = 84,     // lifecycle::PolicySlot published-policy cell
+  kShadowEval = 82,     // lifecycle::ShadowEvaluator stats + mirror
+                        //   router (holds its lock across a candidate
+                        //   decide(), which nests the topo cache /
+                        //   breaker / obs registry below)
   kBatcher = 80,        // reserved: serve::Batcher is per-worker state
                         //   today (unsynchronised by design); rank held
                         //   for when it grows a lock

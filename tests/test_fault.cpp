@@ -137,6 +137,16 @@ TEST(FaultInjector, MalformedSpecErrorsNameTheOffendingToken) {
   EXPECT_NE(msg.find("'bogus_site'"), std::string::npos) << msg;
   EXPECT_NE(msg.find("bogus_site@3"), std::string::npos) << msg;
 
+  // The unknown-site error enumerates the complete valid-site set, in
+  // enum order, so the grammar is discoverable from the message alone.
+  // This list is pinned on purpose: adding a FaultSite must extend it.
+  EXPECT_NE(
+      msg.find("valid sites: lp_solve, ckpt_write, nan_grad, train_abort, "
+               "policy_nan, policy_slow, topo_change, request_garbage, "
+               "registry_publish, shadow_diverge, candidate_nan"),
+      std::string::npos)
+      << msg;
+
   // Non-numeric count after '@'.
   msg = arm_error("lp_solve@abc");
   EXPECT_NE(msg.find("bad count/seed token 'abc'"), std::string::npos) << msg;

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "mcf/cache.hpp"
 #include "mcf/fptas.hpp"
 #include "mcf/optimal.hpp"
@@ -228,6 +231,48 @@ TEST(Fingerprint, StableAcrossCopies) {
   const DiGraph g = topo::abilene();
   const DiGraph copy = g;
   EXPECT_EQ(graph_fingerprint(g), graph_fingerprint(copy));
+}
+
+TEST(Fingerprint, EdgeRemoveThenReAddHashesDifferently) {
+  // Documented guarantee (see cache.hpp): the fingerprint digests edges
+  // in storage order, so removing an edge and re-adding the same
+  // (src, dst, capacity) appends it at the end — a different
+  // representation, hence a different hash.  operator== shares the
+  // order-sensitivity, so fingerprint-equal still tracks graph-equal.
+  DiGraph g(3);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 20.0);
+  g.add_edge(2, 0, 30.0);
+  const std::uint64_t before = graph_fingerprint(g);
+
+  std::vector<bool> remove(static_cast<std::size_t>(g.num_edges()), false);
+  remove[0] = true;  // drop 0 -> 1
+  DiGraph readded = g.without_edges(remove);
+  readded.add_edge(0, 1, 10.0);  // same edge, now last in storage order
+
+  EXPECT_NE(graph_fingerprint(readded), before);
+  EXPECT_FALSE(readded == g);
+  // Same mutation sequence -> same representation -> same hash.
+  DiGraph readded2 = g.without_edges(remove);
+  readded2.add_edge(0, 1, 10.0);
+  EXPECT_EQ(graph_fingerprint(readded2), graph_fingerprint(readded));
+}
+
+TEST(Fingerprint, NodeRemovalCompactionAliasesNativeGraph) {
+  // Documented guarantee (see cache.hpp): without_node renumbers the
+  // survivors, so the compacted graph is the *same representation* as a
+  // natively built graph with those nodes/edges and must hash equal.
+  // Callers tracking identity across mutations carry their own epoch.
+  DiGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 0, 3.0);
+  const DiGraph compacted = g.without_node(0);
+
+  DiGraph native(2);
+  native.add_edge(0, 1, 2.0);  // old 1 -> 2, renumbered down by one
+  EXPECT_EQ(graph_fingerprint(compacted), graph_fingerprint(native));
+  EXPECT_NE(graph_fingerprint(compacted), graph_fingerprint(g));
 }
 
 }  // namespace

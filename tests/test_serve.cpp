@@ -14,8 +14,10 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <future>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -1230,6 +1232,154 @@ TEST(Engine, ConcurrentPollAndShutdownStayCoherent) {
   EXPECT_EQ(stats.offered, 48);
   EXPECT_EQ(stats.served + stats.shed, stats.offered);
   EXPECT_EQ(engine.router_stats().requests, served);
+}
+
+// ---------------- Engine policy lifecycle seam ----------------
+
+std::shared_ptr<const core::GnnPolicy> make_shared_policy(
+    std::uint64_t seed) {
+  util::Rng rng(seed);
+  return std::make_shared<core::GnnPolicy>(core::experiment_gnn_config(5),
+                                           rng);
+}
+
+TEST(Engine, HotSwapStampsVersionsAndCountsSwaps) {
+  EngineConfig config = inline_engine_config();
+  config.max_batch = 1;
+  Engine engine(nullptr, config);
+  const auto g = topo::abilene();
+
+  engine.set_policy(make_shared_policy(1), 7);
+  EXPECT_EQ(engine.live_version(), 7U);
+  auto f1 = engine.submit(make_request(g));
+  engine.poll();
+  const ServeOutcome first = f1.get();
+  ASSERT_FALSE(first.shed);
+  EXPECT_EQ(first.decision.rung, Rung::kGnnPolicy);
+  EXPECT_EQ(first.decision.policy_version, 7U);
+  EXPECT_FALSE(first.decision.served_by_candidate);
+
+  engine.set_policy(make_shared_policy(2), 9);
+  auto f2 = engine.submit(make_request(g));
+  engine.poll();
+  EXPECT_EQ(f2.get().decision.policy_version, 9U);
+  EXPECT_EQ(engine.live_version(), 9U);
+  EXPECT_EQ(engine.swaps(), 2);
+}
+
+TEST(Engine, CanaryFractionSplitsAttributionDeterministically) {
+  EngineConfig config = inline_engine_config();
+  config.max_batch = 1;  // per-request batches: fraction = request share
+  Engine engine(nullptr, config);
+  const auto g = topo::abilene();
+  engine.set_policy(make_shared_policy(1), 1);
+
+  // Full canary: every micro-batch goes to the candidate.
+  engine.set_candidate(make_shared_policy(2), 2, 1.0);
+  for (int i = 0; i < 3; ++i) {
+    auto f = engine.submit(make_request(g));
+    engine.poll();
+    const ServeOutcome outcome = f.get();
+    ASSERT_FALSE(outcome.shed);
+    EXPECT_TRUE(outcome.decision.served_by_candidate);
+    EXPECT_EQ(outcome.decision.policy_version, 2U);
+  }
+  // The canary never became live.
+  EXPECT_EQ(engine.live_version(), 1U);
+
+  // Disarming the canary returns all traffic to the incumbent.
+  engine.clear_candidate();
+  auto f = engine.submit(make_request(g));
+  engine.poll();
+  const ServeOutcome after = f.get();
+  EXPECT_FALSE(after.decision.served_by_candidate);
+  EXPECT_EQ(after.decision.policy_version, 1U);
+
+  // Zero fraction arms nothing.
+  engine.set_candidate(make_shared_policy(3), 3, 0.0);
+  auto f0 = engine.submit(make_request(g));
+  engine.poll();
+  EXPECT_FALSE(f0.get().decision.served_by_candidate);
+}
+
+TEST(Engine, DecisionObserverSeesEveryServedDecision) {
+  EngineConfig config = inline_engine_config();
+  config.max_batch = 4;
+  Engine engine(nullptr, config);
+  const auto g = topo::abilene();
+  engine.set_policy(make_shared_policy(1), 3);
+
+  std::vector<serve::DecisionRecord> records;
+  engine.set_decision_observer(
+      [&records](const RouteRequest& request,
+                 const serve::DecisionRecord& record) {
+        EXPECT_NE(request.graph, nullptr);
+        records.push_back(record);
+      });
+
+  std::vector<std::future<ServeOutcome>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(engine.submit(make_request(g, 0.5 + 0.1 * i)));
+  }
+  engine.poll();
+  for (auto& f : futures) ASSERT_FALSE(f.get().shed);
+
+  ASSERT_EQ(records.size(), 6U);
+  for (const serve::DecisionRecord& record : records) {
+    EXPECT_EQ(record.rung, Rung::kGnnPolicy);
+    EXPECT_EQ(record.policy_version, 3U);
+    EXPECT_FALSE(record.served_by_candidate);
+    EXPECT_FALSE(record.nonfinite_policy_output);
+    EXPECT_TRUE(std::isfinite(record.u_max));
+    EXPECT_GT(record.routed_demand, 0.0);
+  }
+}
+
+TEST(Engine, ConcurrentHotSwapNeverTearsABatch) {
+  // Regression test for the policy lifecycle seam (written for the TSan
+  // and ASan CI legs): workers must re-read the policy slot once per
+  // micro-batch and hold the shared_ptr for the batch's duration — a
+  // worker caching the raw pointer across batches would race the swap
+  // below and use freed weights, because each swapped-out policy's last
+  // reference dies with the swap.
+  EngineConfig config;
+  config.workers = 2;
+  config.queue_capacity = 64;
+  config.max_batch = 4;
+  config.router = test_router_config();
+  Engine engine(nullptr, config);
+  const auto g = topo::abilene();
+  engine.set_policy(make_shared_policy(1), 1);
+
+  std::atomic<bool> done{false};
+  std::thread swapper([&engine, &done] {
+    std::uint64_t version = 2;
+    while (!done.load(std::memory_order_relaxed)) {
+      // A fresh policy every swap: the previous one is freed as soon as
+      // the last in-flight batch using it completes.
+      engine.set_policy(make_shared_policy(version), version);
+      ++version;
+    }
+  });
+
+  std::vector<std::future<ServeOutcome>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(engine.submit(make_request(g, 0.5 + 0.01 * i)));
+  }
+  engine.shutdown();
+  done.store(true, std::memory_order_relaxed);
+  swapper.join();
+
+  const std::uint64_t last = engine.live_version();
+  EXPECT_GE(engine.swaps(), 2);
+  for (auto& f : futures) {
+    const ServeOutcome outcome = f.get();
+    ASSERT_FALSE(outcome.shed);
+    // Every decision is attributable to exactly one installed version.
+    EXPECT_EQ(outcome.decision.rung, Rung::kGnnPolicy);
+    EXPECT_GE(outcome.decision.policy_version, 1U);
+    EXPECT_LE(outcome.decision.policy_version, last);
+  }
 }
 
 TEST(Engine, ShedPolicyNamesRoundTrip) {

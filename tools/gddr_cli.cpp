@@ -30,6 +30,25 @@
 //       [--isolate V]                     degrade the topology by removing
 //                                         every link leaving node V (makes
 //                                         (V,*) demand unroutable)
+//   gddr_cli publish <ckpt> --registry <dir>
+//                                         validate a training checkpoint and
+//                                         publish its parameters as the next
+//                                         version in a lifecycle registry
+//       [--retention K]                   newest versions kept on disk
+//
+//   serve-sim additionally accepts a registry mode that exercises the
+//   full policy lifecycle (lifecycle::Promoter) against live simulated
+//   traffic: the newest-but-one version serves as the incumbent and the
+//   newest is staged as a candidate, shadow-evaluated, canaried and
+//   promoted (or rolled back) while requests stream:
+//       [--registry <dir>]                enables registry mode
+//       [--shadow-frac F]                 fraction of live requests mirrored
+//                                         through the candidate (default 0.25)
+//       [--canary-frac F]                 fraction of real batches served by
+//                                         the candidate (default 0.25)
+//       [--promote-after N]               shadow pairs required before the
+//                                         promotion gates are judged
+//
 //   gddr_cli serve-bench <topology> [requests]
 //                                         drive the concurrent serving
 //                                         engine (serve::Engine) with a
@@ -82,6 +101,7 @@
 #include "core/evaluate.hpp"
 #include "core/experiment.hpp"
 #include "graph/algorithms.hpp"
+#include "lifecycle/promoter.hpp"
 #include "nn/serialize.hpp"
 #include "serve/engine.hpp"
 #include "serve/router.hpp"
@@ -357,11 +377,157 @@ struct ServeSimArgs {
   long heal_at = 0;   // 0 = never heal
   int fail_links = 0;
   int isolate = -1;   // node whose out-links are removed (-1 = none)
+  // Registry mode (lifecycle::Promoter over live simulated traffic).
+  std::string registry_dir;
+  double shadow_frac = 0.25;
+  double canary_frac = 0.25;
+  long promote_after = 20;
 };
+
+// Registry mode: the newest-but-one registry version serves as the
+// incumbent, the newest is staged as a candidate and taken through
+// shadow → canary → live (or rolled back) by a lifecycle::Promoter
+// wired into the serving engine's decision observer, while the same
+// simulated request stream as plain serve-sim flows through an inline
+// serve::Engine.  With a single version the registry incumbent just
+// serves (nothing to stage).  Exit codes match plain serve-sim.
+int cmd_serve_sim_registry(const ServeSimArgs& args,
+                           const obs::MetricsOptions& metrics) {
+  const auto g = resolve_topology(args.topology);
+
+  lifecycle::RegistryConfig reg_cfg;
+  reg_cfg.policy = core::experiment_gnn_config(5);
+  lifecycle::ModelRegistry registry(args.registry_dir, reg_cfg);
+  const std::vector<lifecycle::RegistryEntry> entries = registry.entries();
+  if (entries.empty()) {
+    throw util::IoError("serve-sim: registry '" + args.registry_dir +
+                        "' is empty — run 'gddr_cli publish' first");
+  }
+  const std::uint64_t latest = registry.latest();
+  const std::uint64_t incumbent_version =
+      entries.size() >= 2 ? entries[entries.size() - 2].version : latest;
+
+  serve::EngineConfig ecfg;
+  ecfg.workers = 0;  // inline: deterministic, single-threaded driver
+  ecfg.max_batch = 1;  // per-request batches: canary fraction ≈ request share
+  ecfg.router.deadline = std::chrono::microseconds(args.deadline_us);
+  ecfg.router.softmin.gamma = args.gamma;
+  serve::Engine engine(nullptr, ecfg);
+  engine.set_policy(registry.load(incumbent_version), incumbent_version);
+
+  lifecycle::PromoterConfig pcfg;
+  pcfg.shadow_fraction = args.shadow_frac;
+  pcfg.canary_fraction = args.canary_frac;
+  pcfg.promote_after = args.promote_after;
+  pcfg.canary_decisions = std::max(1L, args.promote_after / 2);
+  pcfg.router = ecfg.router;
+  lifecycle::Promoter promoter(registry, engine, pcfg);
+  engine.set_decision_observer(
+      [&promoter](const serve::RouteRequest& request,
+                  const serve::DecisionRecord& record) {
+        promoter.observe(request, record);
+      });
+  if (latest != incumbent_version) promoter.stage(latest);
+
+  traffic::BimodalParams dparams;
+  dparams.pair_density = 0.3;
+  util::Rng rng(args.seed);
+  traffic::DemandSequence history;
+  std::vector<std::future<serve::ServeOutcome>> futures;
+  futures.reserve(static_cast<std::size_t>(args.requests));
+  for (long i = 1; i <= args.requests; ++i) {
+    serve::RouteRequest request;
+    request.graph = &g;
+    request.demand = traffic::bimodal_matrix(g.num_nodes(), dparams, rng);
+    request.history = history;
+    history.push_back(request.demand);
+    if (static_cast<int>(history.size()) > ecfg.router.memory) {
+      history.erase(history.begin());
+    }
+    futures.push_back(engine.submit(std::move(request)));
+    engine.poll();
+  }
+  engine.shutdown();
+  long shed = 0;
+  for (auto& future : futures) {
+    if (future.get().shed) ++shed;
+  }
+
+  const lifecycle::Promoter::Summary summary = promoter.summary();
+  std::printf("%s: %ld requests via registry %s "
+              "(incumbent v%llu, latest v%llu)\n",
+              g.name().c_str(), args.requests, args.registry_dir.c_str(),
+              static_cast<unsigned long long>(incumbent_version),
+              static_cast<unsigned long long>(latest));
+  util::Table lifecycle_table({"lifecycle", "value"});
+  lifecycle_table.add_row({"state", lifecycle::to_string(summary.state)});
+  lifecycle_table.add_row({"live version",
+                           std::to_string(engine.live_version())});
+  lifecycle_table.add_row({"hot swaps", std::to_string(engine.swaps())});
+  lifecycle_table.add_row({"shadow mirrored",
+                           std::to_string(summary.shadow.mirrored)});
+  lifecycle_table.add_row({"shadow win rate",
+                           util::fmt(summary.shadow.win_rate(), 3)});
+  lifecycle_table.add_row(
+      {"shadow mean dU_max", util::fmt(summary.shadow.delta.mean(), 6)});
+  lifecycle_table.add_row({"shadow p99 latency (us)",
+                           util::fmt(summary.shadow.p99_latency_us, 1)});
+  lifecycle_table.add_row({"canary served",
+                           std::to_string(summary.canary_served)});
+  lifecycle_table.add_row({"promotions", std::to_string(summary.promotions)});
+  lifecycle_table.add_row({"rollbacks", std::to_string(summary.rollbacks)});
+  if (!summary.rollback_reason.empty()) {
+    lifecycle_table.add_row({"rollback reason", summary.rollback_reason});
+  }
+  lifecycle_table.print();
+
+  const serve::RouterStats st = engine.router_stats();
+  util::Table rungs({"rung", "decisions"});
+  for (int r = 0; r < static_cast<int>(serve::Rung::kRungCount); ++r) {
+    rungs.add_row({serve::rung_name(static_cast<serve::Rung>(r)),
+                   std::to_string(st.rung_decisions[r])});
+  }
+  rungs.print();
+  std::printf("shed: %ld; sanitiser: %ld degraded requests, %ld unroutable "
+              "entries dropped\n",
+              shed, st.sanitized_requests, st.unroutable_entries);
+  // One cumulative gddr.metrics.v1 record (the CI lifecycle smoke
+  // asserts the lifecycle/* counters from it).
+  const std::string obs_summary = obs::finish(metrics);
+  if (!obs_summary.empty()) std::printf("%s\n", obs_summary.c_str());
+  if (st.deadline_exhausted > 0) return 5;
+  if (st.unroutable_entries > 0) return 6;
+  return 0;
+}
+
+struct PublishArgs {
+  std::string checkpoint;
+  std::string registry_dir;
+  int retention = 8;
+};
+
+int cmd_publish(const PublishArgs& args) {
+  lifecycle::RegistryConfig cfg;
+  cfg.retention = args.retention;
+  cfg.policy = core::experiment_gnn_config(5);
+  lifecycle::ModelRegistry registry(args.registry_dir, cfg);
+  const std::uint64_t version = registry.publish_file(args.checkpoint);
+  std::printf("published %s as v%llu in %s (%zu version(s) on disk, "
+              "retention %d)\n",
+              args.checkpoint.c_str(),
+              static_cast<unsigned long long>(version),
+              args.registry_dir.c_str(), registry.entries().size(),
+              args.retention);
+  return 0;
+}
 
 // Exit code: 5 if any request exhausted its deadline, else 6 if any
 // demand was dropped as unroutable, else 0.
-int cmd_serve_sim(const ServeSimArgs& args) {
+int cmd_serve_sim(const ServeSimArgs& args,
+                  const obs::MetricsOptions& metrics) {
+  if (!args.registry_dir.empty()) {
+    return cmd_serve_sim_registry(args, metrics);
+  }
   const auto g = resolve_topology(args.topology);
 
   // Degraded variant served between --fail-at and --heal-at.
@@ -666,6 +832,9 @@ int usage() {
                "[--deadline-us N] [--gamma G] [--policy file]\n"
                "            [--fail-at N] [--heal-at M] [--fail-links K] "
                "[--isolate V]\n"
+               "            [--registry dir] [--shadow-frac F] "
+               "[--canary-frac F] [--promote-after N]\n"
+               "  publish <ckpt> --registry <dir> [--retention K]\n"
                "  serve-bench <topology> [requests] [--qps Q] [--batch B]\n"
                "            [--shed-policy expired-first|reject-newest] "
                "[--queue-cap C]\n"
@@ -765,11 +934,41 @@ int run(int argc, char** argv, util::ThreadPool& pool,
       } else if (flag == "--isolate") {
         args.isolate = static_cast<int>(std::strtol(value, nullptr, 10));
         if (args.isolate < 0) return usage();
+      } else if (flag == "--registry") {
+        args.registry_dir = value;
+      } else if (flag == "--shadow-frac") {
+        args.shadow_frac = std::atof(value);
+        if (args.shadow_frac <= 0.0 || args.shadow_frac > 1.0) return usage();
+      } else if (flag == "--canary-frac") {
+        args.canary_frac = std::atof(value);
+        if (args.canary_frac <= 0.0 || args.canary_frac > 1.0) return usage();
+      } else if (flag == "--promote-after") {
+        args.promote_after = std::strtol(value, nullptr, 10);
+        if (args.promote_after <= 0) return usage();
       } else {
         return usage();
       }
     }
-    return cmd_serve_sim(args);
+    return cmd_serve_sim(args, metrics);
+  }
+  if (command == "publish" && argc >= 3) {
+    PublishArgs args;
+    args.checkpoint = argv[2];
+    for (int i = 3; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (i + 1 >= argc) return usage();
+      const char* value = argv[++i];
+      if (flag == "--registry") {
+        args.registry_dir = value;
+      } else if (flag == "--retention") {
+        args.retention = static_cast<int>(std::strtol(value, nullptr, 10));
+        if (args.retention < 1) return usage();
+      } else {
+        return usage();
+      }
+    }
+    if (args.registry_dir.empty()) return usage();
+    return cmd_publish(args);
   }
   if (command == "serve-bench" && argc >= 3) {
     ServeBenchArgs args;
